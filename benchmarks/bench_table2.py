@@ -1,0 +1,22 @@
+"""Experiment E2 — Table 2: distribution of error types (Hospital, Movies)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table2 import PAPER_TABLE2, run_table2
+
+
+@pytest.mark.parametrize("dataset_name", ["hospital", "movies"])
+def test_table2_error_census(benchmark, dataset_name, bench_scale, bench_seed):
+    def run():
+        return run_table2(scale=bench_scale, seed=bench_seed, datasets=[dataset_name])
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    row = rows[dataset_name]
+    benchmark.extra_info.update({"dataset": dataset_name, **{k: v for k, v in row.items()}})
+    # The synthetic benchmark must exhibit the same error classes the paper counts.
+    paper = PAPER_TABLE2[dataset_name]
+    for error_type in ("typo", "column_type", "dmv"):
+        if paper.get(error_type, 0):
+            assert row[error_type] > 0, f"{dataset_name} is missing {error_type} errors"

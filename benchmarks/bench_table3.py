@@ -1,0 +1,46 @@
+"""Experiment E3 — Table 3 (Appendix B): column-type and DMV errors count."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.evaluation.conventions import EvaluationConventions
+from repro.evaluation.runner import ExperimentRunner
+from repro.experiments.table3 import PAPER_TABLE3
+
+SYSTEMS = ["HoloClean", "Raha+Baran", "CleanAgent", "RetClean", "Cocoon"]
+
+_dataset_cache = {}
+
+
+def _dataset(name, seed, scale):
+    key = (name, seed, scale)
+    if key not in _dataset_cache:
+        _dataset_cache[key] = load_dataset(name, seed=seed, scale=scale)
+    return _dataset_cache[key]
+
+
+@pytest.mark.parametrize("dataset_name", ["hospital", "movies"])
+@pytest.mark.parametrize("system_name", SYSTEMS)
+def test_table3_cell(benchmark, system_name, dataset_name, bench_scale, bench_seed):
+    dataset = _dataset(dataset_name, bench_seed, bench_scale)
+    runner = ExperimentRunner(conventions=EvaluationConventions.paper_extended(), seed=bench_seed)
+    extended = dataset.extended_clean if dataset.extended_clean is not None else dataset.clean
+
+    def run():
+        return runner.run_system(system_name, dataset, clean_override=extended)
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    paper = PAPER_TABLE3.get(system_name, {}).get(dataset_name)
+    benchmark.extra_info.update(
+        {
+            "system": system_name,
+            "dataset": dataset_name,
+            "precision": round(result.scores.precision, 3),
+            "recall": round(result.scores.recall, 3),
+            "f1": round(result.scores.f1, 3),
+            "paper_f1": paper[2] if paper else None,
+        }
+    )
+    assert 0.0 <= result.scores.f1 <= 1.0

@@ -1,0 +1,45 @@
+"""Experiment E4 — Figure 1: the two-dimensional workflow decomposition.
+
+Verifies (and times) that a full Cocoon run exercises every issue type in the
+paper's order, each with its statistical-detection → semantic-detection →
+semantic-cleaning steps, and reports the per-issue repair counts.
+"""
+
+from __future__ import annotations
+
+from repro.core import CocoonCleaner, ISSUE_ORDER
+from repro.core.workflow import default_operators
+from repro.datasets import load_dataset
+from repro.experiments.figures import workflow_trace
+
+
+def test_workflow_covers_all_issue_types(benchmark, bench_scale, bench_seed):
+    dataset = load_dataset("hospital", seed=bench_seed, scale=min(bench_scale, 0.2))
+
+    def run():
+        return CocoonCleaner().clean(dataset.dirty)
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    executed_issues = {r.issue_type for r in result.operator_results}
+    # Column-level issues always run; table-level issues run when statistics warrant it.
+    assert {"string_outliers", "pattern_outliers", "disguised_missing_value",
+            "column_type", "numeric_outliers"} <= executed_issues
+    assert [op.issue_type for op in default_operators()] == ISSUE_ORDER
+    trace = workflow_trace(result)
+    benchmark.extra_info.update(
+        {
+            "issues_executed": sorted(executed_issues),
+            "total_repairs": len(result.repairs),
+            "llm_calls": result.llm_calls,
+            "trace": trace.splitlines()[:12],
+        }
+    )
+
+
+def test_operator_ordering_matches_paper(benchmark):
+    def run():
+        return [op.issue_type for op in default_operators()]
+
+    order = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert order.index("string_outliers") < order.index("pattern_outliers") < order.index("column_type")
+    assert order.index("column_type") < order.index("numeric_outliers")

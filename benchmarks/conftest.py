@@ -1,0 +1,26 @@
+"""Shared configuration for the benchmark harness.
+
+Every paper artifact (Table 1, Table 2, Table 3, the prompt figures, the SQL
+output) has a corresponding ``bench_*`` module.  The dataset scale defaults
+to a fraction of the paper-scale row counts so the full harness finishes in
+minutes; set ``REPRO_BENCH_SCALE=1.0`` to run at paper scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return BENCH_SEED

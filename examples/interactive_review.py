@@ -1,0 +1,64 @@
+"""Human-in-the-loop cleaning with review callbacks and an HTML report.
+
+Run with::
+
+    python examples/interactive_review.py [--output-dir reports]
+
+Cocoon is designed as a human-in-the-loop process (Appendix A of the paper):
+every detection and cleaning step is presented for review.  This example
+wires a :class:`CallbackReviewer` that (a) rejects any numeric-outlier
+cleaning, (b) edits one string-outlier mapping, and (c) accepts everything
+else — then writes the HTML report and the commented SQL pipeline to disk.
+"""
+
+import argparse
+from pathlib import Path
+
+from repro.core import CocoonCleaner
+from repro.core.hil import CallbackReviewer, ReviewDecision
+from repro.core.report import write_report
+from repro.datasets import load_dataset
+
+
+def review_detection(finding) -> ReviewDecision:
+    """Reject numeric-outlier cleaning; accept every other detection."""
+    if finding.issue_type == "numeric_outliers":
+        print(f"  [review] rejecting numeric outlier cleaning for {finding.target}")
+        return ReviewDecision(approved=False, note="analyst prefers to keep raw readings")
+    print(f"  [review] approving {finding.issue_type} for {finding.target}")
+    return ReviewDecision(approved=True)
+
+
+def review_cleaning(finding, mapping, sql) -> ReviewDecision:
+    """Demonstrate editing a proposed mapping before it is executed."""
+    if finding.issue_type == "string_outliers" and "article_language" in finding.target:
+        edited = dict(mapping)
+        edited.pop("chi", None)          # keep 'chi' untouched, for example
+        print(f"  [review] editing mapping for {finding.target}: {len(mapping)} -> {len(edited)} entries")
+        return ReviewDecision(approved=True, edited_mapping=edited)
+    return ReviewDecision(approved=True)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output-dir", default="reports", help="where to write the HTML report and SQL")
+    parser.add_argument("--scale", type=float, default=0.1)
+    args = parser.parse_args()
+
+    dataset = load_dataset("rayyan", scale=args.scale)
+    reviewer = CallbackReviewer(on_detection=review_detection, on_cleaning=review_cleaning)
+    cleaner = CocoonCleaner(hil=reviewer)
+
+    print(f"Cleaning {dataset.name} ({dataset.shape_label}) with human review...\n")
+    result = cleaner.clean(dataset.dirty)
+
+    print()
+    print(result.summary_text())
+    paths = write_report(result, Path(args.output_dir))
+    print("\nWrote:")
+    for path in paths:
+        print(f"  {path}")
+
+
+if __name__ == "__main__":
+    main()

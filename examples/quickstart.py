@@ -1,0 +1,57 @@
+"""Quickstart: clean a small dirty table with Cocoon.
+
+Run with::
+
+    python examples/quickstart.py
+
+The example builds the paper's running example (Example 1): a bibliographic
+table whose ``article_language`` column mixes ISO codes ("eng") with written
+out names ("English"), plus disguised missing values and a yes/no column that
+is semantically boolean.  Cocoon profiles the table, asks the (simulated) LLM
+for semantic judgements, and emits commented SQL.
+"""
+
+from repro import CocoonCleaner
+from repro.dataframe import Table
+
+
+def build_dirty_table() -> Table:
+    languages = ["eng"] * 8 + ["English", "English"] + ["fre"] * 4 + ["French"] + ["ger"] * 3 + ["German", "chi"]
+    return Table.from_dict(
+        "articles",
+        {
+            "article_id": [str(i) for i in range(1, 21)],
+            "article_language": languages,
+            "notes": ["ok"] * 15 + ["N/A"] * 3 + ["--"] * 2,
+            "included": ["yes"] * 12 + ["no"] * 8,
+            "score": ["5", "3", "4", "2", "1", "5", "4", "3", "2", "1",
+                      "5", "4", "999", "2", "1", "5", "4", "3", "2", "1"],
+        },
+    )
+
+
+def main() -> None:
+    dirty = build_dirty_table()
+    print("Dirty table:")
+    print(dirty.to_display())
+    print()
+
+    cleaner = CocoonCleaner()          # simulated LLM + auto-approved review
+    result = cleaner.clean(dirty)
+
+    print(result.summary_text())
+    print()
+    print("Repairs:")
+    for repair in sorted(result.repairs, key=lambda r: (r.column, r.row_id)):
+        print(f"  row {repair.row_id:>2}  {repair.column:<18} {repair.old_value!r} -> {repair.new_value!r}"
+              f"   [{repair.issue_type}]")
+    print()
+    print("Cleaned table:")
+    print(result.cleaned_table.to_display())
+    print()
+    print("Generated SQL pipeline:")
+    print(result.sql_script)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim so that ``pip install -e .`` works without network access.
+
+The execution environment has no ``wheel`` package, which the PEP 660
+editable-install path requires; keeping a classic ``setup.py`` lets pip fall
+back to the legacy editable install.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""Baseline data-cleaning systems the paper compares against.
+
+Each baseline is a simplified but behaviourally faithful reimplementation of
+the published system, preserving the property the paper attributes to it:
+
+* **HoloClean** — constraint-driven probabilistic repair; only errors that
+  violate the user-provided denial constraints can be found.
+* **Raha** — configuration-free error *detection* via an ensemble of
+  detection strategies plus a small labelled sample.
+* **Baran** — error *correction* with value/vicinity/domain models trained
+  from the same labelled sample (used as Raha+Baran, as in the paper).
+* **CleanAgent** — LLM-agent for standardising recognised semantic types
+  (dates, phones); near-zero recall on these benchmarks.
+* **RetClean** — retrieval-based cleaning against a data lake of clean
+  tables; without reference tables it can only fix obvious typos.
+"""
+
+from repro.baselines.base import CleaningSystem, SystemContext, SystemOutput
+from repro.baselines.holoclean import HoloCleanSystem
+from repro.baselines.raha import RahaDetector
+from repro.baselines.baran import BaranCorrector, RahaBaranSystem
+from repro.baselines.cleanagent import CleanAgentSystem
+from repro.baselines.retclean import RetCleanSystem
+
+__all__ = [
+    "CleaningSystem",
+    "SystemContext",
+    "SystemOutput",
+    "HoloCleanSystem",
+    "RahaDetector",
+    "BaranCorrector",
+    "RahaBaranSystem",
+    "CleanAgentSystem",
+    "RetCleanSystem",
+]

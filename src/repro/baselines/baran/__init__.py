@@ -1,0 +1,6 @@
+"""Baran: error correction via value, vicinity and domain models (simplified)."""
+
+from repro.baselines.baran.models import ValueModel, VicinityModel, DomainModel
+from repro.baselines.baran.system import BaranCorrector, RahaBaranSystem
+
+__all__ = ["ValueModel", "VicinityModel", "DomainModel", "BaranCorrector", "RahaBaranSystem"]

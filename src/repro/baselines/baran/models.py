@@ -1,0 +1,135 @@
+"""Baran's corrector models.
+
+Baran generates correction candidates from three families of models and
+ranks them with a classifier trained on the labelled sample.  The families
+are reproduced here:
+
+* **Value models** — corrections derived from the erroneous value itself
+  (character-level transformations: here, the closest frequent value by edit
+  distance).
+* **Vicinity models** — corrections derived from co-occurring attribute
+  values in the same tuple (here, the majority value among tuples sharing a
+  correlated attribute value).
+* **Domain models** — corrections from the column's value distribution
+  (here, the most frequent value when the column is almost constant).
+
+Each model proposes ``(candidate, confidence)`` pairs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from repro.dataframe.schema import is_null
+from repro.dataframe.table import Table
+from repro.llm.semantic import edit_distance
+
+Cell = Tuple[int, str]
+
+
+class ValueModel:
+    """Closest frequent same-column value by character edit distance."""
+
+    def __init__(self, max_distance: int = 2, min_frequency: int = 3):
+        self.max_distance = max_distance
+        self.min_frequency = min_frequency
+        self._frequent: Dict[str, List[Tuple[str, int]]] = {}
+
+    def fit(self, table: Table) -> None:
+        for column in table.columns:
+            counts = Counter(str(v) for v in column.values if not is_null(v))
+            self._frequent[column.name] = [
+                (value, count) for value, count in counts.most_common() if count >= self.min_frequency
+            ]
+
+    def propose(self, table: Table, cell: Cell) -> List[Tuple[str, float]]:
+        row, column = cell
+        value = table.cell(row, column)
+        if is_null(value):
+            return []
+        text = str(value)
+        proposals: List[Tuple[str, float]] = []
+        for candidate, count in self._frequent.get(column, []):
+            if candidate == text or len(candidate) < 3:
+                continue
+            distance = edit_distance(text.lower(), candidate.lower(), self.max_distance)
+            if distance <= self.max_distance:
+                confidence = (1.0 / (1 + distance)) * min(1.0, count / 50)
+                proposals.append((candidate, 0.5 + 0.5 * confidence))
+        return sorted(proposals, key=lambda p: -p[1])[:3]
+
+
+class VicinityModel:
+    """Majority value among tuples that share a correlated attribute value."""
+
+    def __init__(self, min_support: int = 2, min_confidence: float = 0.6):
+        self.min_support = min_support
+        self.min_confidence = min_confidence
+        self._cooccurrence: Dict[Tuple[str, str], Dict[str, Counter]] = {}
+
+    def fit(self, table: Table) -> None:
+        names = table.column_names
+        columns = {name: table.column(name).values for name in names}
+        for pivot in names:
+            for target in names:
+                if pivot == target:
+                    continue
+                mapping: Dict[str, Counter] = defaultdict(Counter)
+                for left, right in zip(columns[pivot], columns[target]):
+                    if is_null(left) or is_null(right):
+                        continue
+                    mapping[str(left)][str(right)] += 1
+                # Keep only informative pivots: most groups agree on one value.
+                informative = {}
+                for key, counter in mapping.items():
+                    total = sum(counter.values())
+                    top_value, top_count = counter.most_common(1)[0]
+                    if total >= self.min_support and top_count / total >= self.min_confidence:
+                        informative[key] = counter
+                if informative:
+                    self._cooccurrence[(pivot, target)] = informative
+
+    def propose(self, table: Table, cell: Cell) -> List[Tuple[str, float]]:
+        row, column = cell
+        proposals: Counter = Counter()
+        for (pivot, target), mapping in self._cooccurrence.items():
+            if target != column:
+                continue
+            pivot_value = table.cell(row, pivot)
+            if is_null(pivot_value):
+                continue
+            counter = mapping.get(str(pivot_value))
+            if counter is None:
+                continue
+            top_value, top_count = counter.most_common(1)[0]
+            total = sum(counter.values())
+            if top_value != str(table.cell(row, column)):
+                proposals[top_value] += top_count / total
+        return [(value, min(1.0, 0.5 + score / 4)) for value, score in proposals.most_common(3)]
+
+
+class DomainModel:
+    """The column's dominant value, proposed when the column is nearly constant."""
+
+    def __init__(self, dominance: float = 0.9):
+        self.dominance = dominance
+        self._dominant: Dict[str, Optional[str]] = {}
+
+    def fit(self, table: Table) -> None:
+        for column in table.columns:
+            counts = Counter(str(v) for v in column.values if not is_null(v))
+            total = sum(counts.values())
+            self._dominant[column.name] = None
+            if not total:
+                continue
+            value, count = counts.most_common(1)[0]
+            if count / total >= self.dominance:
+                self._dominant[column.name] = value
+
+    def propose(self, table: Table, cell: Cell) -> List[Tuple[str, float]]:
+        row, column = cell
+        dominant = self._dominant.get(column)
+        if dominant is None or str(table.cell(row, column)) == dominant:
+            return []
+        return [(dominant, 0.55)]

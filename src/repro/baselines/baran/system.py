@@ -1,0 +1,109 @@
+"""Baran error correction and the combined Raha+Baran system.
+
+As in the paper's setup, Raha first detects errors, Baran proposes and ranks
+corrections, and the user supplies feedback on 20 clean cells which both
+components use (Raha to calibrate clusters, Baran to calibrate the candidate
+acceptance threshold).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.baselines.baran.models import DomainModel, ValueModel, VicinityModel
+from repro.baselines.base import CleaningSystem, SystemContext, SystemOutput
+from repro.baselines.raha.system import RahaDetector
+from repro.dataframe.table import Table
+from repro.evaluation.conventions import values_equivalent
+
+Cell = Tuple[int, str]
+
+
+class BaranCorrector:
+    """Propose a correction for each detected error cell."""
+
+    def __init__(self, acceptance_threshold: float = 0.55):
+        self.acceptance_threshold = acceptance_threshold
+        self.value_model = ValueModel()
+        self.vicinity_model = VicinityModel()
+        self.domain_model = DomainModel()
+
+    def fit(self, table: Table, context: SystemContext) -> None:
+        self.value_model.fit(table)
+        self.vicinity_model.fit(table)
+        self.domain_model.fit(table)
+        self._calibrate(table, context)
+
+    def _calibrate(self, table: Table, context: SystemContext) -> None:
+        """Use the labelled sample to pick the acceptance threshold.
+
+        Only labelled cells whose dirty value disagrees with the label are
+        informative examples of corrections; calibrating on already-clean
+        cells would only teach the corrector to do nothing.
+        """
+        error_examples = []
+        for (row, column), clean_value in context.labeled_cells.items():
+            if row >= table.num_rows or column not in table.column_names:
+                continue
+            if not values_equivalent(table.cell(row, column), clean_value):
+                error_examples.append(((row, column), clean_value))
+        if not error_examples:
+            return
+        best_threshold = self.acceptance_threshold
+        best_score = -1.0
+        for threshold in (0.5, 0.55, 0.6, 0.7, 0.8):
+            correct = 0
+            attempted = 0
+            for cell, clean_value in error_examples:
+                candidate = self._best_candidate(table, cell, threshold)
+                if candidate is None:
+                    continue
+                attempted += 1
+                if values_equivalent(candidate, clean_value):
+                    correct += 1
+            score = correct - 0.25 * (attempted - correct)
+            if score > best_score:
+                best_score = score
+                best_threshold = threshold
+        self.acceptance_threshold = best_threshold
+
+    def _best_candidate(self, table: Table, cell: Cell, threshold: Optional[float] = None) -> Optional[str]:
+        limit = threshold if threshold is not None else self.acceptance_threshold
+        proposals: Dict[str, float] = {}
+        for model in (self.vicinity_model, self.value_model, self.domain_model):
+            for candidate, confidence in model.propose(table, cell):
+                proposals[candidate] = max(proposals.get(candidate, 0.0), confidence)
+        if not proposals:
+            return None
+        candidate, confidence = max(proposals.items(), key=lambda p: p[1])
+        if confidence < limit:
+            return None
+        return candidate
+
+    def correct(self, table: Table, cells: Set[Cell]) -> Dict[Cell, str]:
+        repairs: Dict[Cell, str] = {}
+        for cell in sorted(cells):
+            candidate = self._best_candidate(table, cell)
+            if candidate is not None and str(table.cell(*cell)) != candidate:
+                repairs[cell] = candidate
+        return repairs
+
+
+class RahaBaranSystem(CleaningSystem):
+    """The combined detection (Raha) + correction (Baran) pipeline."""
+
+    name = "Raha+Baran"
+
+    def __init__(self, detector: Optional[RahaDetector] = None, corrector: Optional[BaranCorrector] = None):
+        self.detector = detector or RahaDetector()
+        self.corrector = corrector or BaranCorrector()
+
+    def repair(self, dirty: Table, context: SystemContext) -> SystemOutput:
+        detected = self.detector.detect(dirty, context)
+        self.corrector.fit(dirty, context)
+        repairs = self.corrector.correct(dirty, detected)
+        return SystemOutput(
+            repairs=dict(repairs),
+            detected_cells=sorted(detected),
+            notes=f"{len(detected)} cells detected, threshold {self.corrector.acceptance_threshold}",
+        )

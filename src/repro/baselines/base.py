@@ -1,0 +1,50 @@
+"""Common interface for all cleaning systems (Cocoon and the baselines)."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.dataframe.table import Table
+
+Cell = Tuple[int, str]
+
+
+@dataclass
+class SystemContext:
+    """Extra inputs a system may receive, mirroring the paper's setup.
+
+    * HoloClean additionally takes denial constraints (ground truth provided).
+    * Baran additionally requires feedback on 20 clean cells (ground truth
+      provided).
+    * RetClean can accept additional clean tables (none are available).
+    """
+
+    # Ground-truth functional dependencies, as (determinant, dependent) pairs.
+    denial_constraints: List[Tuple[str, str]] = field(default_factory=list)
+    # Labelled clean cells: (row, column) → correct value.
+    labeled_cells: Dict[Cell, Any] = field(default_factory=dict)
+    # Reference clean tables for retrieval-based systems.
+    reference_tables: List[Table] = field(default_factory=list)
+    # Reproducibility seed.
+    seed: int = 0
+
+
+@dataclass
+class SystemOutput:
+    """What a system produces: cell repairs (and optionally detections only)."""
+
+    repairs: Dict[Cell, Any] = field(default_factory=dict)
+    detected_cells: List[Cell] = field(default_factory=list)
+    notes: str = ""
+
+
+class CleaningSystem(abc.ABC):
+    """A data cleaning system evaluated in the experiments."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def repair(self, dirty: Table, context: SystemContext) -> SystemOutput:
+        """Clean ``dirty`` and return the proposed cell repairs."""

@@ -1,0 +1,97 @@
+"""CleanAgent: LLM-agent data *standardisation* (simplified).
+
+CleanAgent focuses on standardising columns of recognised semantic types
+(dates, phone numbers, emails, addresses) into canonical formats by
+generating Dataprep-style code with an LLM agent.  It does not attempt
+general error repair, which is why the paper reports near-zero precision and
+recall on these benchmarks: the benchmarks' ground truth keeps the original
+formats, so reformatting either changes nothing that counts or changes cells
+the benchmark does not consider erroneous.  It also rejects inputs larger
+than 2 MB (Movies is evaluated on a 1000-row sample for this reason).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.base import CleaningSystem, SystemContext, SystemOutput
+from repro.dataframe.io import to_csv_text
+from repro.dataframe.schema import is_null, parse_date
+from repro.dataframe.table import Table
+
+Cell = Tuple[int, str]
+
+_PHONE_RE = re.compile(r"^\(?\d{3}\)?[\s.-]?\d{3}[\s.-]?\d{4}$")
+_EMAIL_RE = re.compile(r"^[^@\s]+@[^@\s]+\.[^@\s]+$")
+
+
+class CleanAgentFileSizeError(RuntimeError):
+    """Raised when the CSV exceeds CleanAgent's 2 MB input limit."""
+
+
+class CleanAgentSystem(CleaningSystem):
+    """Standardise date/phone/email columns into canonical formats."""
+
+    name = "CleanAgent"
+    max_csv_bytes = 2 * 1024 * 1024
+
+    def __init__(self, type_detection_threshold: float = 0.8):
+        self.type_detection_threshold = type_detection_threshold
+
+    # -- semantic type detection -----------------------------------------------
+    def _column_semantic_type(self, values: List[object]) -> Optional[str]:
+        non_null = [str(v) for v in values if not is_null(v) and str(v).strip() != ""]
+        if not non_null:
+            return None
+        sample = non_null[:500]
+        date_hits = sum(1 for v in sample if parse_date(v) is not None)
+        phone_hits = sum(1 for v in sample if _PHONE_RE.match(v))
+        email_hits = sum(1 for v in sample if _EMAIL_RE.match(v))
+        total = len(sample)
+        if date_hits / total >= self.type_detection_threshold:
+            return "date"
+        if phone_hits / total >= self.type_detection_threshold:
+            return "phone"
+        if email_hits / total >= self.type_detection_threshold:
+            return "email"
+        return None
+
+    # -- standardisation -----------------------------------------------------------
+    @staticmethod
+    def _standardise(value: str, semantic_type: str) -> Optional[str]:
+        if semantic_type == "date":
+            parsed = parse_date(value)
+            if parsed is None:
+                return None
+            return parsed.isoformat()
+        if semantic_type == "phone":
+            digits = re.sub(r"\D", "", value)
+            if len(digits) != 10:
+                return None
+            return f"({digits[:3]}) {digits[3:6]}-{digits[6:]}"
+        if semantic_type == "email":
+            return value.strip().lower()
+        return None
+
+    def repair(self, dirty: Table, context: SystemContext) -> SystemOutput:
+        csv_size = len(to_csv_text(dirty).encode("utf-8"))
+        if csv_size > self.max_csv_bytes:
+            raise CleanAgentFileSizeError(f"CSV of {csv_size} bytes exceeds the 2 MB input limit")
+        repairs: Dict[Cell, object] = {}
+        standardised_columns = []
+        for column in dirty.columns:
+            semantic_type = self._column_semantic_type(column.values)
+            if semantic_type is None:
+                continue
+            standardised_columns.append((column.name, semantic_type))
+            for i, value in enumerate(column.values):
+                if is_null(value):
+                    continue
+                canonical = self._standardise(str(value), semantic_type)
+                if canonical is not None and canonical != str(value):
+                    repairs[(i, column.name)] = canonical
+        return SystemOutput(
+            repairs=repairs,
+            notes=f"standardised columns: {standardised_columns}",
+        )

@@ -1,0 +1,6 @@
+"""HoloClean: holistic data repairs with probabilistic inference (simplified)."""
+
+from repro.baselines.holoclean.denial_constraints import FDConstraint, violating_cells
+from repro.baselines.holoclean.system import HoloCleanSystem
+
+__all__ = ["FDConstraint", "violating_cells", "HoloCleanSystem"]

@@ -1,0 +1,56 @@
+"""Denial constraints (restricted to functional dependencies).
+
+HoloClean takes denial constraints as input; following the paper's setup we
+provide the ground-truth constraints, and — like Baran and the paper — we
+restrict them to FDs with a single attribute on each side, expressed as the
+denial constraint ¬(t1.det = t2.det ∧ t1.dep ≠ t2.dep).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.dataframe.schema import is_null
+from repro.dataframe.table import Table
+
+Cell = Tuple[int, str]
+
+
+@dataclass(frozen=True)
+class FDConstraint:
+    """A functional dependency ``determinant → dependent`` used as a denial constraint."""
+
+    determinant: str
+    dependent: str
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"{self.determinant} -> {self.dependent}"
+
+
+def group_value_counts(table: Table, constraint: FDConstraint) -> Dict[str, Counter]:
+    """For each determinant value, the distribution of dependent values."""
+    groups: Dict[str, Counter] = defaultdict(Counter)
+    lhs = table.column(constraint.determinant).values
+    rhs = table.column(constraint.dependent).values
+    for left, right in zip(lhs, rhs):
+        if is_null(left) or is_null(right):
+            continue
+        groups[str(left)][str(right)] += 1
+    return groups
+
+
+def violating_cells(table: Table, constraint: FDConstraint) -> Set[Cell]:
+    """Dependent-column cells that participate in a violation of the constraint."""
+    groups = group_value_counts(table, constraint)
+    violating_lhs = {lhs for lhs, counter in groups.items() if len(counter) > 1}
+    cells: Set[Cell] = set()
+    lhs_values = table.column(constraint.determinant).values
+    rhs_values = table.column(constraint.dependent).values
+    for i, (left, right) in enumerate(zip(lhs_values, rhs_values)):
+        if is_null(left) or is_null(right):
+            continue
+        if str(left) in violating_lhs:
+            cells.add((i, constraint.dependent))
+    return cells

@@ -1,0 +1,28 @@
+"""Domain pruning: candidate repair values for a noisy cell.
+
+HoloClean restricts each cell's repair domain to values that co-occur with
+the rest of the tuple (its correlated attributes).  Here the domain of a
+dependent cell under an FD constraint is the set of dependent values observed
+for the same determinant value, weighted by frequency.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from repro.baselines.holoclean.denial_constraints import FDConstraint, group_value_counts
+from repro.dataframe.table import Table
+
+
+def candidate_domain(
+    table: Table,
+    constraint: FDConstraint,
+    max_candidates: int = 10,
+) -> Dict[str, List[Tuple[str, int]]]:
+    """For each determinant value, the pruned candidate repairs with support counts."""
+    groups = group_value_counts(table, constraint)
+    domains: Dict[str, List[Tuple[str, int]]] = {}
+    for lhs, counter in groups.items():
+        domains[lhs] = counter.most_common(max_candidates)
+    return domains

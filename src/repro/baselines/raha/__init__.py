@@ -1,0 +1,23 @@
+"""Raha: configuration-free error detection (simplified)."""
+
+from repro.baselines.raha.detectors import (
+    DetectorStrategy,
+    FrequencyOutlierDetector,
+    PatternOutlierDetector,
+    NullLikeDetector,
+    FDViolationDetector,
+    SpellingDetector,
+    default_detectors,
+)
+from repro.baselines.raha.system import RahaDetector
+
+__all__ = [
+    "DetectorStrategy",
+    "FrequencyOutlierDetector",
+    "PatternOutlierDetector",
+    "NullLikeDetector",
+    "FDViolationDetector",
+    "SpellingDetector",
+    "default_detectors",
+    "RahaDetector",
+]

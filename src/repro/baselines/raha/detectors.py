@@ -1,0 +1,172 @@
+"""Raha's detection strategies.
+
+Raha runs a library of unsupervised error-detection strategies — outlier
+detectors, pattern-violation detectors, rule-violation detectors and
+knowledge-base lookups — and represents each cell by the vector of strategy
+outputs.  The strategies below cover those families; each returns, per cell,
+1.0 when it considers the cell erroneous.
+"""
+
+from __future__ import annotations
+
+import abc
+import re
+from collections import Counter, defaultdict
+from typing import Dict, List, Tuple
+
+from repro.dataframe.schema import is_null
+from repro.dataframe.table import Table
+from repro.llm.semantic import edit_distance, value_shape
+
+Cell = Tuple[int, str]
+
+
+class DetectorStrategy(abc.ABC):
+    """One detection strategy: flags suspicious cells of a table."""
+
+    name: str = "strategy"
+
+    @abc.abstractmethod
+    def detect(self, table: Table) -> Dict[Cell, float]:
+        """Return suspicious cells mapped to a confidence in (0, 1]."""
+
+
+class FrequencyOutlierDetector(DetectorStrategy):
+    """Rare values in otherwise low-cardinality (categorical) columns."""
+
+    name = "frequency_outlier"
+
+    def __init__(self, rare_fraction: float = 0.005, max_distinct_ratio: float = 0.5):
+        self.rare_fraction = rare_fraction
+        self.max_distinct_ratio = max_distinct_ratio
+
+    def detect(self, table: Table) -> Dict[Cell, float]:
+        flags: Dict[Cell, float] = {}
+        for column in table.columns:
+            values = [str(v) for v in column.values if not is_null(v)]
+            if not values:
+                continue
+            counts = Counter(values)
+            if len(counts) / len(values) > self.max_distinct_ratio:
+                continue
+            threshold = max(1, int(len(values) * self.rare_fraction))
+            for i, value in enumerate(column.values):
+                if is_null(value):
+                    continue
+                if counts[str(value)] <= threshold:
+                    flags[(i, column.name)] = 1.0
+        return flags
+
+
+class PatternOutlierDetector(DetectorStrategy):
+    """Values whose character shape differs from the column's dominant shape."""
+
+    name = "pattern_outlier"
+
+    def __init__(self, dominance: float = 0.7):
+        self.dominance = dominance
+
+    def detect(self, table: Table) -> Dict[Cell, float]:
+        flags: Dict[Cell, float] = {}
+        for column in table.columns:
+            shapes = Counter()
+            for value in column.values:
+                if is_null(value):
+                    continue
+                shapes[value_shape(str(value))] += 1
+            total = sum(shapes.values())
+            if not total or len(shapes) < 2:
+                continue
+            dominant, dominant_count = shapes.most_common(1)[0]
+            if dominant_count / total < self.dominance:
+                continue
+            for i, value in enumerate(column.values):
+                if is_null(value):
+                    continue
+                if value_shape(str(value)) != dominant:
+                    flags[(i, column.name)] = 1.0
+        return flags
+
+
+class NullLikeDetector(DetectorStrategy):
+    """Placeholder strings that look like missing values."""
+
+    name = "null_like"
+    _TOKENS = {"n/a", "na", "null", "none", "unknown", "-", "--", "?", "missing", "empty"}
+
+    def detect(self, table: Table) -> Dict[Cell, float]:
+        flags: Dict[Cell, float] = {}
+        for column in table.columns:
+            for i, value in enumerate(column.values):
+                if is_null(value):
+                    continue
+                if str(value).strip().lower() in self._TOKENS:
+                    flags[(i, column.name)] = 1.0
+        return flags
+
+
+class FDViolationDetector(DetectorStrategy):
+    """Cells violating automatically discovered (approximate) FDs."""
+
+    name = "fd_violation"
+
+    def __init__(self, min_score: float = 0.85, max_groups: int = 500):
+        self.min_score = min_score
+        self.max_groups = max_groups
+
+    def detect(self, table: Table) -> Dict[Cell, float]:
+        from repro.profiling.fd import discover_fds, fd_violation_groups
+
+        flags: Dict[Cell, float] = {}
+        try:
+            candidates = discover_fds(table, min_score=self.min_score)
+        except Exception:
+            return flags
+        for candidate in candidates[:10]:
+            groups = fd_violation_groups(table, candidate.determinant, candidate.dependent)
+            violating_lhs = {lhs for lhs, _ in groups[: self.max_groups]}
+            lhs_values = table.column(candidate.determinant).values
+            for i, lhs in enumerate(lhs_values):
+                if not is_null(lhs) and str(lhs) in violating_lhs:
+                    flags[(i, candidate.dependent)] = 1.0
+        return flags
+
+
+class SpellingDetector(DetectorStrategy):
+    """Rare values one edit away from a frequent value of the same column."""
+
+    name = "spelling"
+
+    def __init__(self, frequency_ratio: float = 5.0):
+        self.frequency_ratio = frequency_ratio
+
+    def detect(self, table: Table) -> Dict[Cell, float]:
+        flags: Dict[Cell, float] = {}
+        for column in table.columns:
+            counts = Counter(str(v) for v in column.values if not is_null(v))
+            frequent = [v for v, c in counts.items() if c >= 3]
+            rare = {v for v, c in counts.items() if c <= 2 and len(v) >= 4}
+            suspicious = set()
+            for value in rare:
+                for other in frequent:
+                    if counts[other] >= self.frequency_ratio * counts[value] and \
+                            edit_distance(value.lower(), other.lower(), 2) <= 2:
+                        suspicious.add(value)
+                        break
+            if not suspicious:
+                continue
+            for i, value in enumerate(column.values):
+                if not is_null(value) and str(value) in suspicious:
+                    flags[(i, column.name)] = 1.0
+        return flags
+
+
+def default_detectors() -> List[DetectorStrategy]:
+    """The detector ensemble used by :class:`~repro.baselines.raha.system.RahaDetector`."""
+    return [
+        FrequencyOutlierDetector(),
+        PatternOutlierDetector(),
+        NullLikeDetector(),
+        FDViolationDetector(),
+        SpellingDetector(),
+    ]

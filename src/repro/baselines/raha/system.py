@@ -1,0 +1,73 @@
+"""Raha error detection: ensemble features + a small labelled sample.
+
+The original system clusters cells by their strategy-output feature vectors
+and propagates labels obtained from a handful of user-labelled tuples,
+training a per-column classifier.  This implementation keeps that structure
+in a simplified form: cells sharing a feature vector form a cluster, the
+labelled sample labels the clusters it intersects, and unlabelled clusters
+fall back to a majority-of-strategies vote.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Set, Tuple
+
+from repro.baselines.base import SystemContext
+from repro.baselines.raha.detectors import DetectorStrategy, default_detectors
+from repro.dataframe.table import Table
+from repro.evaluation.conventions import values_equivalent
+
+Cell = Tuple[int, str]
+
+
+class RahaDetector:
+    """Detect erroneous cells with an ensemble of strategies."""
+
+    def __init__(self, detectors: List[DetectorStrategy] = None, vote_threshold: int = 1):
+        self.detectors = detectors if detectors is not None else default_detectors()
+        # Minimum number of strategies that must fire for an unlabelled cluster
+        # to be classified as erroneous.
+        self.vote_threshold = vote_threshold
+
+    def feature_vectors(self, table: Table) -> Dict[Cell, Tuple[int, ...]]:
+        """The per-cell vector of strategy outputs."""
+        outputs = [detector.detect(table) for detector in self.detectors]
+        vectors: Dict[Cell, Tuple[int, ...]] = {}
+        for column in table.columns:
+            for i in range(table.num_rows):
+                cell = (i, column.name)
+                vector = tuple(1 if cell in output else 0 for output in outputs)
+                if any(vector):
+                    vectors[cell] = vector
+        return vectors
+
+    def detect(self, table: Table, context: SystemContext) -> Set[Cell]:
+        """Classify cells as erroneous, using labelled cells to calibrate clusters."""
+        vectors = self.feature_vectors(table)
+        clusters: Dict[Tuple[str, Tuple[int, ...]], List[Cell]] = defaultdict(list)
+        for (row, column), vector in vectors.items():
+            clusters[(column, vector)].append((row, column))
+
+        # Label clusters using the labelled sample: a labelled cell whose dirty
+        # value disagrees with its label is an error example.
+        cluster_labels: Dict[Tuple[str, Tuple[int, ...]], bool] = {}
+        for (row, column), clean_value in context.labeled_cells.items():
+            cell = (row, column)
+            vector = vectors.get(cell)
+            if vector is None:
+                continue
+            is_error = not values_equivalent(table.cell(row, column), clean_value)
+            key = (column, vector)
+            cluster_labels[key] = cluster_labels.get(key, False) or is_error
+
+        detected: Set[Cell] = set()
+        for key, cells in clusters.items():
+            if key in cluster_labels:
+                if cluster_labels[key]:
+                    detected.update(cells)
+                continue
+            votes = sum(key[1])
+            if votes >= self.vote_threshold:
+                detected.update(cells)
+        return detected

@@ -1,0 +1,36 @@
+"""Cocoon core: the LLM-driven data cleaning pipeline.
+
+This package implements the paper's primary contribution: a cleaning
+workflow that decomposes the task along two dimensions —
+
+1. by *issue type* (string outliers, pattern outliers, disguised missing
+   values, column types, numeric outliers, functional dependencies,
+   duplication, column uniqueness), applied in the order the paper motivates
+   (typos before patterns before casts before distributions), and
+2. by *cleaning step* within each issue: statistical detection, semantic
+   detection (LLM), semantic cleaning (LLM), SQL emission.
+
+The entry point is :class:`~repro.core.pipeline.CocoonCleaner`.
+"""
+
+from repro.core.result import CellRepair, DetectionFinding, OperatorResult, CleaningResult
+from repro.core.context import CleaningConfig, CleaningContext
+from repro.core.hil import HumanInTheLoop, AutoApprove, CallbackReviewer, ReviewDecision
+from repro.core.pipeline import CocoonCleaner
+from repro.core.workflow import default_operators, ISSUE_ORDER
+
+__all__ = [
+    "CocoonCleaner",
+    "CleaningConfig",
+    "CleaningContext",
+    "CellRepair",
+    "DetectionFinding",
+    "OperatorResult",
+    "CleaningResult",
+    "HumanInTheLoop",
+    "AutoApprove",
+    "CallbackReviewer",
+    "ReviewDecision",
+    "default_operators",
+    "ISSUE_ORDER",
+]

@@ -1,0 +1,23 @@
+"""The eight cleaning operators of the Cocoon workflow (paper §2.1)."""
+
+from repro.core.operators.base import CleaningOperator
+from repro.core.operators.string_outliers import StringOutlierOperator
+from repro.core.operators.pattern_outliers import PatternOutlierOperator
+from repro.core.operators.dmv import DisguisedMissingValueOperator
+from repro.core.operators.column_type import ColumnTypeOperator
+from repro.core.operators.numeric_outliers import NumericOutlierOperator
+from repro.core.operators.functional_dependency import FunctionalDependencyOperator
+from repro.core.operators.duplication import DuplicationOperator
+from repro.core.operators.uniqueness import ColumnUniquenessOperator
+
+__all__ = [
+    "CleaningOperator",
+    "StringOutlierOperator",
+    "PatternOutlierOperator",
+    "DisguisedMissingValueOperator",
+    "ColumnTypeOperator",
+    "NumericOutlierOperator",
+    "FunctionalDependencyOperator",
+    "DuplicationOperator",
+    "ColumnUniquenessOperator",
+]

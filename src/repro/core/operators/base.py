@@ -1,0 +1,161 @@
+"""Shared machinery for cleaning operators.
+
+Every operator follows the same three-step shape from Figure 1(b):
+statistical detection → semantic detection (LLM) → semantic cleaning (LLM),
+and finally emits a SQL statement that materialises the next version of the
+table.  The base class provides the LLM helpers, the SQL application and the
+cell-level diff that turns a table rewrite into a list of
+:class:`~repro.core.result.CellRepair` objects.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.context import ROW_ID_COLUMN, CleaningContext
+from repro.core.hil import HumanInTheLoop
+from repro.core.result import CellRepair, DetectionFinding, OperatorResult
+from repro.dataframe.schema import is_null
+from repro.dataframe.table import Table
+from repro.llm.parsing import ResponseParseError, extract_json, parse_mapping_yaml
+from repro.sql.errors import SQLError
+
+
+class CleaningOperator(abc.ABC):
+    """One issue type of the Cocoon workflow."""
+
+    issue_type: str = "abstract"
+
+    def __init__(self) -> None:
+        self._llm_calls = 0
+
+    # -- abstract interface -------------------------------------------------------
+    @abc.abstractmethod
+    def run(self, context: CleaningContext, hil: HumanInTheLoop) -> List[OperatorResult]:
+        """Detect and clean this operator's issue type across its targets."""
+
+    # -- LLM helpers -----------------------------------------------------------------
+    def ask_json(self, context: CleaningContext, prompt: str, purpose: str) -> Optional[Dict[str, Any]]:
+        """Call the model and parse a JSON response; None when unparseable."""
+        self._llm_calls += 1
+        response = context.llm.complete(prompt, purpose=purpose)
+        try:
+            return extract_json(response.text)
+        except ResponseParseError:
+            return None
+
+    def ask_mapping(self, context: CleaningContext, prompt: str, purpose: str) -> Tuple[str, Dict[str, str]]:
+        """Call the model and parse the Figure 3 explanation/mapping response."""
+        self._llm_calls += 1
+        response = context.llm.complete(prompt, purpose=purpose)
+        return parse_mapping_yaml(response.text)
+
+    def take_llm_calls(self) -> int:
+        """Return and reset the number of LLM calls made since the last call."""
+        calls = self._llm_calls
+        self._llm_calls = 0
+        return calls
+
+    # -- SQL application -----------------------------------------------------------------
+    def apply_sql(
+        self,
+        context: CleaningContext,
+        sql: str,
+        target_table: str,
+        issue_type: str,
+        reason: str,
+    ) -> Tuple[List[CellRepair], List[int]]:
+        """Execute a cleaning statement and diff old vs new table into repairs.
+
+        Row identity is carried by the hidden row-id column, so repairs survive
+        row reordering and row removal (deduplication).
+        """
+        before = context.current_table()
+        context.db.sql(sql)
+        after = context.db.table(target_table)
+        repairs, removed = diff_tables(before, after, issue_type=issue_type, reason=reason)
+        context.advance(target_table, sql)
+        return repairs, removed
+
+    # -- misc helpers ----------------------------------------------------------------------
+    @staticmethod
+    def make_finding(
+        issue_type: str,
+        target: str,
+        statistical_evidence: str,
+        detected: bool,
+        llm_reasoning: str = "",
+        llm_summary: str = "",
+    ) -> DetectionFinding:
+        return DetectionFinding(
+            issue_type=issue_type,
+            target=target,
+            statistical_evidence=statistical_evidence,
+            detected=detected,
+            llm_reasoning=llm_reasoning,
+            llm_summary=llm_summary,
+        )
+
+
+def diff_tables(
+    before: Table,
+    after: Table,
+    issue_type: str,
+    reason: str,
+) -> Tuple[List[CellRepair], List[int]]:
+    """Cell-level diff between two versions of a table keyed by the row-id column."""
+    if ROW_ID_COLUMN not in before.column_names or ROW_ID_COLUMN not in after.column_names:
+        raise ValueError("diff_tables requires both tables to carry the row-id column")
+    after_index: Dict[Any, int] = {}
+    after_ids = after.column(ROW_ID_COLUMN).values
+    for i, row_id in enumerate(after_ids):
+        after_index[row_id] = i
+    shared_columns = [
+        c for c in after.column_names if c != ROW_ID_COLUMN and c in before.column_names
+    ]
+    repairs: List[CellRepair] = []
+    removed: List[int] = []
+    before_ids = before.column(ROW_ID_COLUMN).values
+    before_cols = {c: before.column(c).values for c in shared_columns}
+    after_cols = {c: after.column(c).values for c in shared_columns}
+    for i, row_id in enumerate(before_ids):
+        j = after_index.get(row_id)
+        if j is None:
+            removed.append(int(row_id))
+            continue
+        for column in shared_columns:
+            old = before_cols[column][i]
+            new = after_cols[column][j]
+            if _cell_changed(old, new):
+                repairs.append(
+                    CellRepair(
+                        row_id=int(row_id),
+                        column=column,
+                        old_value=old,
+                        new_value=new,
+                        issue_type=issue_type,
+                        reason=reason,
+                    )
+                )
+    return repairs, removed
+
+
+def _cell_changed(old: Any, new: Any) -> bool:
+    if is_null(old) and is_null(new):
+        return False
+    if is_null(old) != is_null(new):
+        return True
+    if type(old) is type(new):
+        return old != new
+    # Type changed by a CAST: compare canonical text so '12' → 12 does not count,
+    # but 'yes' → True does.
+    return _canonical_text(old) != _canonical_text(new)
+
+
+def _canonical_text(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and float(value).is_integer():
+        return str(int(value))
+    return str(value).strip()

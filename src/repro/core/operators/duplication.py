@@ -1,0 +1,76 @@
+"""§2.1.7 Duplication.
+
+Statistics select fully duplicated rows; the LLM decides whether duplicates
+are semantically acceptable (e.g. coarse-grained logging) or erroneous.
+Erroneous duplicates are removed with a ``SELECT DISTINCT``-equivalent that
+keeps the first occurrence (implemented with ``ROW_NUMBER`` over the data
+columns so the hidden row-id bookkeeping column is preserved).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.context import ROW_ID_COLUMN, CleaningContext
+from repro.core.hil import HumanInTheLoop
+from repro.core.operators.base import CleaningOperator
+from repro.core.result import OperatorResult
+from repro.core.sqlgen import comment_block, quote_identifier
+from repro.llm import prompts
+
+
+class DuplicationOperator(CleaningOperator):
+
+    issue_type = "duplication"
+
+    def run(self, context: CleaningContext, hil: HumanInTheLoop) -> List[OperatorResult]:
+        result = OperatorResult(issue_type=self.issue_type, target=context.base_table)
+        profile = context.profile(refresh=True)
+        duplicate_rows = profile.duplicate_rows
+        evidence = f"{duplicate_rows} fully duplicated rows"
+        if duplicate_rows == 0:
+            result.skipped_reason = "no duplicated rows detected statistically"
+            return [result]
+
+        review_prompt = prompts.duplication_review(context.base_table, duplicate_rows, profile.duplicate_samples)
+        review = self.ask_json(context, review_prompt, purpose="duplication_review")
+        erroneous = bool(review and review.get("Erroneous"))
+        finding = self.make_finding(
+            self.issue_type,
+            context.base_table,
+            evidence,
+            erroneous,
+            llm_reasoning=str(review.get("Reasoning", "")) if review else "",
+            llm_summary="duplicates are erroneous" if erroneous else "duplicates are acceptable",
+        )
+        result.finding = finding
+        if not erroneous or not hil.review_detection(finding).approved:
+            result.llm_calls = self.take_llm_calls()
+            return [result]
+
+        data_columns = context.data_columns()
+        partition = ", ".join(quote_identifier(c) for c in data_columns)
+        target_table = context.next_table_name("dedup")
+        comments = comment_block(
+            [
+                f"Duplication cleaning: remove {duplicate_rows} duplicated rows (keep the first occurrence).",
+                f"Reasoning: {finding.llm_reasoning}",
+            ]
+        )
+        sql = (
+            f"{comments}\n"
+            f"CREATE OR REPLACE TABLE {quote_identifier(target_table)} AS\n"
+            f"SELECT *\nFROM {quote_identifier(context.current_table_name)}\n"
+            f"QUALIFY ROW_NUMBER() OVER (PARTITION BY {partition} ORDER BY {ROW_ID_COLUMN}) = 1"
+        )
+        decision = hil.review_cleaning(finding, {}, sql)
+        if not decision.approved:
+            result.skipped_reason = "cleaning rejected by reviewer"
+            result.llm_calls = self.take_llm_calls()
+            return [result]
+        repairs, removed = self.apply_sql(context, sql, target_table, self.issue_type, finding.llm_summary)
+        result.repairs = repairs
+        result.removed_row_ids = removed
+        result.sql = sql
+        result.llm_calls = self.take_llm_calls()
+        return [result]

@@ -1,0 +1,101 @@
+"""The Cocoon cleaning pipeline."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.core.context import ROW_ID_COLUMN, CleaningConfig, CleaningContext
+from repro.core.hil import AutoApprove, HumanInTheLoop
+from repro.core.result import CleaningResult, OperatorResult
+from repro.core.workflow import default_operators
+from repro.dataframe.column import Column
+from repro.dataframe.io import read_csv
+from repro.dataframe.schema import ColumnType
+from repro.dataframe.table import Table
+from repro.llm.base import LLMClient
+from repro.llm.simulated import SimulatedSemanticLLM
+from repro.sql.database import Database
+
+
+class CocoonCleaner:
+    """End-to-end data cleaning with LLM-backed semantic judgement.
+
+    Typical use::
+
+        cleaner = CocoonCleaner()                 # simulated LLM, auto-approve HIL
+        result = cleaner.clean(table)
+        print(result.sql_script)                  # the interpretable artifact
+        cleaned = result.cleaned_table            # the repaired table
+
+    Pass ``llm=AnthropicClient(...)`` for a hosted model and a
+    :class:`~repro.core.hil.CallbackReviewer` to put a human in the loop.
+    """
+
+    def __init__(
+        self,
+        llm: Optional[LLMClient] = None,
+        config: Optional[CleaningConfig] = None,
+        hil: Optional[HumanInTheLoop] = None,
+        database: Optional[Database] = None,
+    ):
+        self.llm = llm if llm is not None else SimulatedSemanticLLM()
+        self.config = config or CleaningConfig()
+        self.hil = hil or AutoApprove()
+        self.database = database or Database()
+
+    # -- public API -------------------------------------------------------------
+    def clean(self, table: Table) -> CleaningResult:
+        """Clean an in-memory table and return repairs, SQL and the cleaned table."""
+        base_name = self._sanitise_name(table.name or "dataset")
+        working = self._with_row_ids(table, base_name)
+        self.database.register(working, replace=True)
+        context = CleaningContext(self.database, self.llm, base_name, config=self.config)
+
+        llm_calls_before = self.llm.call_count
+        operator_results: List[OperatorResult] = []
+        for operator in default_operators(self.config.enabled_issues):
+            if not self.config.issue_enabled(operator.issue_type):
+                continue
+            operator_results.extend(operator.run(context, self.hil))
+
+        cleaned_with_ids = context.current_table()
+        cleaned = cleaned_with_ids.drop([ROW_ID_COLUMN]).rename(table.name)
+        result = CleaningResult(
+            table_name=table.name,
+            dirty_table=table,
+            cleaned_table=cleaned,
+            operator_results=operator_results,
+            sql_script=self._render_script(base_name, context.sql_statements),
+            llm_calls=self.llm.call_count - llm_calls_before,
+        )
+        return result
+
+    def clean_csv(self, path: Union[str, Path]) -> CleaningResult:
+        """Convenience wrapper: read a CSV file and clean it."""
+        return self.clean(read_csv(path, infer_types=False))
+
+    # -- helpers -----------------------------------------------------------------
+    @staticmethod
+    def _sanitise_name(name: str) -> str:
+        cleaned = re.sub(r"[^A-Za-z0-9_]", "_", name).strip("_").lower()
+        return cleaned or "dataset"
+
+    @staticmethod
+    def _with_row_ids(table: Table, base_name: str) -> Table:
+        """Attach the hidden row-id column that carries row identity through SQL."""
+        if ROW_ID_COLUMN in table.column_names:
+            return table.rename(base_name)
+        row_ids = Column(ROW_ID_COLUMN, list(range(table.num_rows)), ColumnType.INTEGER)
+        return Table(base_name, [row_ids] + list(table.columns))
+
+    @staticmethod
+    def _render_script(base_name: str, statements: Sequence[str]) -> str:
+        header = (
+            f"-- Cocoon cleaning pipeline for table {base_name}\n"
+            f"-- Each statement materialises one cleaning step; reasoning is preserved as comments.\n"
+        )
+        if not statements:
+            return header + "-- No cleaning steps were necessary.\n"
+        return header + "\n\n".join(f"{statement};" for statement in statements) + "\n"

@@ -1,0 +1,136 @@
+"""SQL generation helpers.
+
+The paper stresses that Cocoon's output is a set of *well-commented SQL
+queries*: scalable (pushed down to the database), interpretable (the LLM
+reasoning is preserved as comments) and reusable (the script re-runs on new
+data).  These helpers build those statements.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def quote_identifier(name: str) -> str:
+    """Double-quote an identifier when it is not a plain lowercase word."""
+    if name.isidentifier() and name == name.lower():
+        return name
+    escaped = name.replace('"', '""')
+    return f'"{escaped}"'
+
+
+def quote_literal(value: object) -> str:
+    """Render a Python value as a SQL literal."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return str(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"
+
+
+def comment_block(lines: Iterable[str], width: int = 96) -> str:
+    """Render reasoning text as a SQL comment block."""
+    out: List[str] = []
+    for line in lines:
+        for wrapped in textwrap.wrap(line, width=width) or [""]:
+            out.append(f"-- {wrapped}")
+    return "\n".join(out)
+
+
+def case_when_mapping(column: str, mapping: Mapping[str, Optional[str]], else_null_for: Sequence[str] = ()) -> str:
+    """``CASE column WHEN 'old' THEN 'new' ... ELSE column END`` for a value mapping.
+
+    Values mapped to the empty string become NULL (the paper's convention for
+    "meaningless" values).
+    """
+    col = quote_identifier(column)
+    branches = []
+    for old, new in mapping.items():
+        if new is None or new == "":
+            branches.append(f"        WHEN {quote_literal(old)} THEN NULL")
+        else:
+            branches.append(f"        WHEN {quote_literal(old)} THEN {quote_literal(new)}")
+    for old in else_null_for:
+        branches.append(f"        WHEN {quote_literal(old)} THEN NULL")
+    body = "\n".join(branches)
+    return f"CASE {col}\n{body}\n        ELSE {col}\n    END"
+
+
+def case_when_null(column: str, null_values: Sequence[str]) -> str:
+    """``CASE WHEN column IN (...) THEN NULL ELSE column END`` for DMV cleaning."""
+    col = quote_identifier(column)
+    literals = ", ".join(quote_literal(v) for v in null_values)
+    return f"CASE WHEN {col} IN ({literals}) THEN NULL ELSE {col} END"
+
+
+def case_when_threshold(column: str, low: Optional[float], high: Optional[float]) -> str:
+    """``CASE WHEN column < low OR column > high THEN NULL ELSE column END``."""
+    col = quote_identifier(column)
+    conditions = []
+    if low is not None:
+        conditions.append(f"{col} < {low}")
+    if high is not None:
+        conditions.append(f"{col} > {high}")
+    condition = " OR ".join(conditions) if conditions else "FALSE"
+    return f"CASE WHEN {condition} THEN NULL ELSE {col} END"
+
+
+def cast_expression(column: str, target_type: str, value_mapping: Optional[Mapping[str, str]] = None) -> str:
+    """``CAST(column AS type)``, optionally preceded by a value-normalising CASE."""
+    col = quote_identifier(column)
+    inner = col
+    if value_mapping:
+        inner = case_when_mapping(column, dict(value_mapping))
+    return f"CAST({inner} AS {target_type})"
+
+
+def select_with_replacements(
+    source_table: str,
+    target_table: str,
+    columns: Sequence[str],
+    replacements: Mapping[str, str],
+    comments: Sequence[str] = (),
+    where: Optional[str] = None,
+    qualify: Optional[str] = None,
+) -> str:
+    """Build ``CREATE OR REPLACE TABLE target AS SELECT ...`` replacing some columns.
+
+    ``replacements`` maps a column name to the SQL expression that produces its
+    cleaned value; all other columns are passed through unchanged.
+    """
+    select_items = []
+    for column in columns:
+        col = quote_identifier(column)
+        if column in replacements:
+            select_items.append(f"    {replacements[column]} AS {col}")
+        else:
+            select_items.append(f"    {col}")
+    select_list = ",\n".join(select_items)
+    header = comment_block(comments) + "\n" if comments else ""
+    statement = (
+        f"{header}CREATE OR REPLACE TABLE {quote_identifier(target_table)} AS\n"
+        f"SELECT\n{select_list}\nFROM {quote_identifier(source_table)}"
+    )
+    if where:
+        statement += f"\nWHERE {where}"
+    if qualify:
+        statement += f"\nQUALIFY {qualify}"
+    return statement
+
+
+def conditional_update_expression(
+    target_column: str,
+    key_column: str,
+    key_to_value: Mapping[str, str],
+) -> str:
+    """``CASE key_column WHEN 'k' THEN 'v' ... ELSE target END`` for FD repairs."""
+    key = quote_identifier(key_column)
+    target = quote_identifier(target_column)
+    branches = "\n".join(
+        f"        WHEN {quote_literal(k)} THEN {quote_literal(v)}" for k, v in key_to_value.items()
+    )
+    return f"CASE {key}\n{branches}\n        ELSE {target}\n    END"

@@ -1,0 +1,31 @@
+"""Column-oriented in-memory table substrate.
+
+The paper's system (Cocoon) operates on relational tables stored in a
+database and manipulated through SQL.  This package provides the minimal
+dataframe layer the rest of the reproduction builds on: typed columns, an
+immutable-by-convention :class:`Table`, CSV input/output and the handful of
+relational operations (selection, projection, sorting, group-by, joins,
+distinct) that the profiler, the cleaning operators and the baselines need.
+
+It intentionally mirrors a small subset of the pandas API surface so that
+code reads naturally to anyone familiar with dataframes, while remaining a
+from-scratch implementation with no third-party dependencies beyond numpy.
+"""
+
+from repro.dataframe.schema import ColumnType, infer_type, infer_storage_type, coerce_value
+from repro.dataframe.column import Column
+from repro.dataframe.table import Table
+from repro.dataframe.io import read_csv, write_csv, read_csv_text, to_csv_text
+
+__all__ = [
+    "ColumnType",
+    "infer_type",
+    "infer_storage_type",
+    "coerce_value",
+    "Column",
+    "Table",
+    "read_csv",
+    "write_csv",
+    "read_csv_text",
+    "to_csv_text",
+]

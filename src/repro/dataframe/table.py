@@ -1,0 +1,251 @@
+"""The Table: an ordered collection of equally long named columns."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.dataframe.column import Column
+from repro.dataframe.schema import ColumnType, is_null
+
+
+class Table:
+    """An in-memory relational table.
+
+    A table is a list of :class:`Column` objects sharing one length, plus a
+    name.  Rows are addressed by integer position; cells by
+    ``(row_index, column_name)`` which is also the unit of evaluation used by
+    the paper's precision/recall metrics.
+    """
+
+    def __init__(self, name: str, columns: Sequence[Column]):
+        if columns:
+            lengths = {len(c) for c in columns}
+            if len(lengths) > 1:
+                raise ValueError(f"Columns of table {name!r} have differing lengths: {lengths}")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"Duplicate column names in table {name!r}: {names}")
+        self.name = name
+        self.columns: List[Column] = list(columns)
+        self._index: Dict[str, int] = {c.name: i for i, c in enumerate(columns)}
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        column_names: Sequence[str],
+        rows: Iterable[Sequence[Any]],
+        dtypes: Optional[Sequence[Optional[ColumnType]]] = None,
+    ) -> "Table":
+        """Build a table from row tuples."""
+        materialised = [list(r) for r in rows]
+        for row in materialised:
+            if len(row) != len(column_names):
+                raise ValueError(
+                    f"Row width {len(row)} does not match column count {len(column_names)}"
+                )
+        columns = []
+        for i, col_name in enumerate(column_names):
+            values = [row[i] for row in materialised]
+            dtype = dtypes[i] if dtypes is not None else None
+            columns.append(Column(col_name, values, dtype))
+        return cls(name, columns)
+
+    @classmethod
+    def from_dict(cls, name: str, data: Mapping[str, Sequence[Any]]) -> "Table":
+        """Build a table from a mapping of column name to values."""
+        return cls(name, [Column(k, v) for k, v in data.items()])
+
+    # -- basic protocol -------------------------------------------------------
+    @property
+    def column_names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.columns)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.num_rows, self.num_columns)
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name in self._index
+
+    def __getitem__(self, column_name: str) -> Column:
+        return self.column(column_name)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, rows={self.num_rows}, columns={self.column_names})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return self.column_names == other.column_names and all(
+            a.values == b.values for a, b in zip(self.columns, other.columns)
+        )
+
+    # -- access ---------------------------------------------------------------
+    def column(self, name: str) -> Column:
+        if name not in self._index:
+            raise KeyError(f"Table {self.name!r} has no column {name!r}; columns are {self.column_names}")
+        return self.columns[self._index[name]]
+
+    def has_column(self, name: str) -> bool:
+        return name in self._index
+
+    def cell(self, row: int, column_name: str) -> Any:
+        return self.column(column_name)[row]
+
+    def row(self, index: int) -> Dict[str, Any]:
+        return {c.name: c[index] for c in self.columns}
+
+    def rows(self) -> Iterator[Dict[str, Any]]:
+        for i in range(self.num_rows):
+            yield self.row(i)
+
+    def row_tuples(self) -> List[Tuple[Any, ...]]:
+        return [tuple(c[i] for c in self.columns) for i in range(self.num_rows)]
+
+    # -- transformation (all return new tables) --------------------------------
+    def copy(self, name: Optional[str] = None) -> "Table":
+        return Table(name or self.name, [Column(c.name, list(c.values), c.dtype) for c in self.columns])
+
+    def rename(self, name: str) -> "Table":
+        return Table(name, self.columns)
+
+    def select(self, column_names: Sequence[str]) -> "Table":
+        return Table(self.name, [self.column(n) for n in column_names])
+
+    def drop(self, column_names: Sequence[str]) -> "Table":
+        dropped = set(column_names)
+        return Table(self.name, [c for c in self.columns if c.name not in dropped])
+
+    def with_column(self, column: Column) -> "Table":
+        """Return a table with ``column`` added or replaced (matched by name)."""
+        if column.name in self._index:
+            cols = [column if c.name == column.name else c for c in self.columns]
+        else:
+            cols = list(self.columns) + [column]
+        return Table(self.name, cols)
+
+    def set_cell(self, row: int, column_name: str, value: Any) -> "Table":
+        """Return a table with a single cell replaced."""
+        col = self.column(column_name)
+        values = list(col.values)
+        values[row] = value
+        return self.with_column(col.with_values(values))
+
+    def take(self, indices: Sequence[int]) -> "Table":
+        return Table(self.name, [c.take(indices) for c in self.columns])
+
+    def head(self, n: int) -> "Table":
+        return self.take(list(range(min(n, self.num_rows))))
+
+    def filter(self, predicate: Callable[[Dict[str, Any]], bool]) -> "Table":
+        indices = [i for i in range(self.num_rows) if predicate(self.row(i))]
+        return self.take(indices)
+
+    def sort_by(self, column_names: Sequence[str], descending: bool = False) -> "Table":
+        def key(i: int) -> Tuple:
+            parts = []
+            for name in column_names:
+                v = self.cell(i, name)
+                # Sort NULLs last regardless of direction, mirroring SQL NULLS LAST.
+                parts.append((1, "") if is_null(v) else (0, v))
+            return tuple(parts)
+
+        indices = sorted(range(self.num_rows), key=key, reverse=descending)
+        return self.take(indices)
+
+    def distinct(self) -> "Table":
+        seen = set()
+        indices = []
+        for i, row in enumerate(self.row_tuples()):
+            key = tuple("\0null" if is_null(v) else str(v) for v in row)
+            if key in seen:
+                continue
+            seen.add(key)
+            indices.append(i)
+        return self.take(indices)
+
+    def group_by(self, column_names: Sequence[str]) -> Dict[Tuple[Any, ...], List[int]]:
+        """Group row indices by the values of ``column_names``."""
+        groups: Dict[Tuple[Any, ...], List[int]] = {}
+        for i in range(self.num_rows):
+            key = tuple(self.cell(i, name) for name in column_names)
+            key = tuple(None if is_null(v) else v for v in key)
+            groups.setdefault(key, []).append(i)
+        return groups
+
+    def concat_rows(self, other: "Table") -> "Table":
+        if self.column_names != other.column_names:
+            raise ValueError("Cannot concatenate tables with different columns")
+        columns = [
+            Column(a.name, list(a.values) + list(b.values), a.dtype)
+            for a, b in zip(self.columns, other.columns)
+        ]
+        return Table(self.name, columns)
+
+    def join(self, other: "Table", on: Sequence[str], how: str = "inner") -> "Table":
+        """Hash join on equality of the ``on`` columns.
+
+        Supports ``inner`` and ``left`` joins, which is all the baselines need.
+        Non-key columns from ``other`` that clash are suffixed with ``_right``.
+        """
+        if how not in ("inner", "left"):
+            raise ValueError(f"Unsupported join type: {how}")
+        right_index: Dict[Tuple[Any, ...], List[int]] = {}
+        for j in range(other.num_rows):
+            key = tuple(other.cell(j, k) for k in on)
+            right_index.setdefault(key, []).append(j)
+        left_cols = self.column_names
+        right_cols = [c for c in other.column_names if c not in on]
+        out_names = left_cols + [
+            c if c not in left_cols else f"{c}_right" for c in right_cols
+        ]
+        out_rows: List[List[Any]] = []
+        for i in range(self.num_rows):
+            key = tuple(self.cell(i, k) for k in on)
+            matches = right_index.get(key, [])
+            if matches:
+                for j in matches:
+                    out_rows.append(
+                        [self.cell(i, c) for c in left_cols]
+                        + [other.cell(j, c) for c in right_cols]
+                    )
+            elif how == "left":
+                out_rows.append([self.cell(i, c) for c in left_cols] + [None] * len(right_cols))
+        return Table.from_rows(self.name, out_names, out_rows)
+
+    # -- conversion -------------------------------------------------------------
+    def to_dict(self) -> Dict[str, List[Any]]:
+        return {c.name: list(c.values) for c in self.columns}
+
+    def to_display(self, max_rows: int = 10) -> str:
+        """Render a small ASCII preview, used by examples and the HTML report."""
+        names = self.column_names
+        rows = [[_fmt(self.cell(i, n)) for n in names] for i in range(min(max_rows, self.num_rows))]
+        widths = [
+            max(len(names[j]), *(len(r[j]) for r in rows)) if rows else len(names[j])
+            for j in range(len(names))
+        ]
+        header = " | ".join(n.ljust(w) for n, w in zip(names, widths))
+        sep = "-+-".join("-" * w for w in widths)
+        body = "\n".join(" | ".join(r[j].ljust(widths[j]) for j in range(len(names))) for r in rows)
+        footer = "" if self.num_rows <= max_rows else f"\n... ({self.num_rows} rows total)"
+        return f"{header}\n{sep}\n{body}{footer}"
+
+
+def _fmt(value: Any) -> str:
+    if is_null(value):
+        return "NULL"
+    return str(value)

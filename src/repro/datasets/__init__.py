@@ -1,0 +1,24 @@
+"""Benchmark datasets.
+
+The paper evaluates on five standard dirty-data benchmarks: Hospital and
+Flights (HoloClean), Beers (Raha), Rayyan and Movies (Magellan).  The
+original CSV files are not redistributable here, so this package generates
+synthetic equivalents: for each benchmark a *clean* ground-truth table is
+built from realistic domain vocabulary, then an error injector introduces
+exactly the error classes the original benchmark is known for (typos,
+functional-dependency violations, inconsistent representations, disguised
+missing values, value misplacements, numeric outliers), recording the
+cell-level ground truth.  Scale and error mix follow the paper's Table 2.
+"""
+
+from repro.datasets.base import BenchmarkDataset, InjectedError, ErrorType
+from repro.datasets.registry import load_dataset, dataset_names, DATASET_BUILDERS
+
+__all__ = [
+    "BenchmarkDataset",
+    "InjectedError",
+    "ErrorType",
+    "load_dataset",
+    "dataset_names",
+    "DATASET_BUILDERS",
+]

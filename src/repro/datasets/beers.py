@@ -1,0 +1,103 @@
+"""The Beers benchmark (Raha lineage).
+
+Craft-beer records joined with their breweries.  The characteristic errors
+are functional-dependency violations between ``brewery_id`` and the brewery
+attributes, unit-word inconsistencies (``"12.0 oz"`` vs ``"12.0 ounce"``),
+state abbreviation/name inconsistencies, and column-type issues (``abv``,
+``ibu`` and ``ounces`` stored as text).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.dataframe.table import Table
+from repro.datasets.base import BenchmarkDataset
+from repro.datasets.common import CITY_STATE, SURNAMES, build_extended_clean, place_dmv_tokens
+from repro.datasets.errors import ErrorInjector
+from repro.llm.knowledge.abbreviations import US_STATES
+
+COLUMNS = ["id", "beer_name", "style", "ounces", "abv", "ibu", "brewery_id", "brewery_name", "city", "state"]
+
+_STYLES = [
+    "American IPA", "American Pale Ale", "American Amber Ale", "American Blonde Ale",
+    "American Brown Ale", "American Porter", "American Stout", "Imperial Stout",
+    "Oatmeal Stout", "Cream Ale", "Witbier", "Hefeweizen", "Saison", "Pilsner",
+    "Golden Ale", "Session IPA", "Double IPA", "Red Ale", "Wheat Ale", "Fruit Beer",
+]
+_ADJECTIVES = ["Hoppy", "Golden", "Dark", "Wild", "Lazy", "Rocky", "River", "Mountain",
+               "Old", "Big", "Little", "Lucky", "Iron", "Copper", "Silver", "Crooked"]
+_NOUNS = ["Trail", "Canyon", "Harbor", "Bear", "Fox", "Eagle", "Moon", "Sun", "Creek",
+          "Valley", "Ridge", "Summit", "Anchor", "Barrel", "Wagon", "Lantern"]
+
+
+def _build_clean(rows: int, seed: int) -> Table:
+    rng = random.Random(seed)
+    brewery_count = max(1, rows // 5)
+    suffixes = ["Brewing Company", "Brewery", "Beer Works", "Brewing Co."]
+    breweries = []
+    for index in range(brewery_count):
+        city, state = rng.choice(CITY_STATE)
+        # Brewery names are generated combinatorially so they never collide:
+        # two distinct breweries sharing a name would create spurious
+        # functional-dependency violations that no real benchmark contains.
+        adjective = _ADJECTIVES[index % len(_ADJECTIVES)]
+        noun = _NOUNS[(index // len(_ADJECTIVES)) % len(_NOUNS)]
+        suffix = suffixes[(index // (len(_ADJECTIVES) * len(_NOUNS))) % len(suffixes)]
+        breweries.append(
+            {
+                "brewery_id": str(index),
+                "brewery_name": f"{adjective} {noun} {suffix}",
+                "city": city,
+                "state": state,
+            }
+        )
+    table_rows: List[List[str]] = []
+    for i in range(rows):
+        brewery = breweries[i % brewery_count]
+        style = rng.choice(_STYLES)
+        beer_name = f"{rng.choice(_ADJECTIVES)} {rng.choice(_NOUNS)} {style.split()[-1]}"
+        table_rows.append(
+            [
+                str(i), beer_name, style, f"{rng.choice(['12.0', '16.0', '19.2'])} oz",
+                f"{rng.uniform(0.035, 0.1):.3f}", str(rng.randrange(5, 120)),
+                brewery["brewery_id"], brewery["brewery_name"], brewery["city"], brewery["state"],
+            ]
+        )
+    return Table.from_rows("beers", COLUMNS, table_rows)
+
+
+def build_beers(rows: int = 2410, seed: int = 0) -> BenchmarkDataset:
+    """Generate the Beers benchmark (default 2410 × 10)."""
+    clean = _build_clean(rows, seed)
+    rng = random.Random(seed + 1)
+    dmv_cells = place_dmv_tokens(clean, "ibu", fraction=0.15, rng=rng, tokens=("N/A", "null"))
+
+    injector = ErrorInjector(clean, seed=seed + 2)
+    scale = rows / 2410
+    # Unit-word inconsistencies ("12.0 oz" → "12.0 ounce").
+    ounce_variants = {f"{size} oz": [f"{size} ounce", f"{size} OZ"] for size in ("12.0", "16.0", "19.2")}
+    injector.inject_inconsistency("ounces", int(320 * scale), ounce_variants)
+    # State written out in full instead of the postal code.
+    state_variants = {code: [names[0].title()] for code, names in US_STATES.items()}
+    injector.inject_inconsistency("state", int(260 * scale), state_variants)
+    # A small number of functional dependency violations brewery_id → city.
+    injector.inject_fd_violations("brewery_id", "city", int(40 * scale))
+    # Typos in beer styles and brewery names (frequent categorical values).
+    injector.inject_typos("style", int(140 * scale))
+    injector.inject_typos("brewery_name", int(70 * scale))
+
+    dirty = injector.build_dirty("beers")
+    type_cast_columns = {"abv": "DOUBLE", "ibu": "INTEGER"}
+    dataset = BenchmarkDataset(
+        name="beers",
+        dirty=dirty,
+        clean=clean,
+        injected_errors=injector.errors,
+        type_cast_columns=type_cast_columns,
+        dmv_cells=dmv_cells,
+        description="Craft beers and breweries with unit and FD inconsistencies",
+    )
+    dataset.extended_clean = build_extended_clean(clean, type_cast_columns, dmv_cells)
+    return dataset

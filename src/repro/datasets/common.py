@@ -1,0 +1,137 @@
+"""Shared building blocks for the benchmark generators."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dataframe.column import Column
+from repro.dataframe.schema import ColumnType, coerce_value, is_null, parse_type
+from repro.dataframe.table import Table
+from repro.llm.knowledge.abbreviations import parse_duration_minutes
+from repro.llm.knowledge.types import semantic_boolean
+
+# A pool of surnames / word stems used to synthesise entity names across
+# benchmarks (hospitals, breweries, journals, people).
+SURNAMES: List[str] = [
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis",
+    "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson",
+    "Thomas", "Taylor", "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson",
+    "White", "Harris", "Sanchez", "Clark", "Ramirez", "Lewis", "Robinson", "Walker",
+    "Young", "Allen", "King", "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores",
+    "Green", "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+    "Carter", "Roberts",
+]
+
+FIRST_NAMES: List[str] = [
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda",
+    "David", "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica",
+    "Thomas", "Sarah", "Charles", "Karen", "Christopher", "Lisa", "Daniel", "Nancy",
+    "Matthew", "Betty", "Anthony", "Margaret", "Mark", "Sandra", "Donald", "Ashley",
+    "Steven", "Kimberly", "Paul", "Emily", "Andrew", "Donna", "Joshua", "Michelle",
+]
+
+CITY_STATE: List[Tuple[str, str]] = [
+    ("Birmingham", "AL"), ("Phoenix", "AZ"), ("Los Angeles", "CA"), ("Denver", "CO"),
+    ("Hartford", "CT"), ("Miami", "FL"), ("Atlanta", "GA"), ("Chicago", "IL"),
+    ("Indianapolis", "IN"), ("Des Moines", "IA"), ("Wichita", "KS"), ("Louisville", "KY"),
+    ("New Orleans", "LA"), ("Boston", "MA"), ("Detroit", "MI"), ("Minneapolis", "MN"),
+    ("Kansas City", "MO"), ("Omaha", "NE"), ("Las Vegas", "NV"), ("Newark", "NJ"),
+    ("Albuquerque", "NM"), ("New York", "NY"), ("Charlotte", "NC"), ("Columbus", "OH"),
+    ("Oklahoma City", "OK"), ("Portland", "OR"), ("Philadelphia", "PA"), ("Providence", "RI"),
+    ("Charleston", "SC"), ("Nashville", "TN"), ("Houston", "TX"), ("Salt Lake City", "UT"),
+    ("Richmond", "VA"), ("Seattle", "WA"), ("Milwaukee", "WI"), ("Cheyenne", "WY"),
+]
+
+STREET_SUFFIXES = ["Street", "Avenue", "Road", "Drive", "Boulevard"]
+
+
+def make_phone(rng: random.Random) -> str:
+    return f"{rng.randrange(200, 999)}-{rng.randrange(200, 999)}-{rng.randrange(1000, 9999)}"
+
+
+def make_zip(rng: random.Random) -> str:
+    return f"{rng.randrange(10000, 99999)}"
+
+
+def make_address(rng: random.Random) -> str:
+    return f"{rng.randrange(100, 9999)} {rng.choice(SURNAMES)} {rng.choice(STREET_SUFFIXES)}"
+
+
+def place_dmv_tokens(
+    table: Table,
+    column: str,
+    fraction: float,
+    rng: random.Random,
+    tokens: Sequence[str] = ("N/A", "null", "--"),
+) -> List[Tuple[int, str]]:
+    """Overwrite a fraction of a column with disguised-missing tokens *in place*.
+
+    These cells represent genuinely missing data recorded as placeholder text,
+    so the same token appears in the clean ground truth; only the extended
+    (Appendix B) ground truth expects NULL.  Returns the affected cells.
+    """
+    col = table.column(column)
+    candidate_rows = [i for i, v in enumerate(col.values) if not is_null(v)]
+    count = int(len(candidate_rows) * fraction)
+    cells: List[Tuple[int, str]] = []
+    for row in rng.sample(candidate_rows, min(count, len(candidate_rows))):
+        col.values[row] = rng.choice(list(tokens))
+        cells.append((row, column))
+    return cells
+
+
+def build_extended_clean(
+    clean: Table,
+    type_cast_columns: Dict[str, str],
+    dmv_cells: Sequence[Tuple[int, str]],
+) -> Table:
+    """Ground truth for the Appendix B evaluation: casts applied, DMVs as NULL."""
+    extended = clean.copy()
+    dmv_by_column: Dict[str, set] = {}
+    for row, column in dmv_cells:
+        dmv_by_column.setdefault(column, set()).add(row)
+    new_columns: List[Column] = []
+    for column in extended.columns:
+        values = list(column.values)
+        null_rows = dmv_by_column.get(column.name, set())
+        for row in null_rows:
+            values[row] = None
+        target = type_cast_columns.get(column.name)
+        if target is not None:
+            target_upper = target.upper()
+            if target_upper == "BOOLEAN":
+                values = [_cast_boolean_text(v) for v in values]
+            elif target_upper in ("DOUBLE", "INTEGER") and _looks_like_duration_column(values):
+                values = [_cast_duration(v) for v in values]
+            else:
+                dtype = parse_type(target_upper)
+                values = [coerce_value(v, dtype) for v in values]
+        new_columns.append(Column(column.name, values))
+    return Table(clean.name, new_columns)
+
+
+def _cast_boolean_text(value: object) -> object:
+    if is_null(value):
+        return None
+    interpreted = semantic_boolean(value)
+    if interpreted is None:
+        return None
+    return interpreted
+
+
+def _cast_duration(value: object) -> object:
+    if is_null(value):
+        return None
+    minutes = parse_duration_minutes(str(value))
+    if minutes is not None:
+        return float(minutes)
+    return coerce_value(value, ColumnType.DOUBLE)
+
+
+def _looks_like_duration_column(values: Sequence[object]) -> bool:
+    sample = [v for v in values if not is_null(v)][:50]
+    if not sample:
+        return False
+    hits = sum(1 for v in sample if parse_duration_minutes(str(v)) is not None and not str(v).strip().isdigit())
+    return hits >= max(1, len(sample) // 4)

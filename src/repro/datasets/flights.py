@@ -1,0 +1,117 @@
+"""The Flights benchmark (HoloClean lineage).
+
+Multiple web sources report departure/arrival times for the same flight, and
+they frequently disagree.  Scheduled times form meaningful functional
+dependencies (``flight → scheduled departure/arrival``) whose violations are
+cleanable; *actual* times are measurements whose inconsistencies the paper
+argues are application noise, not data errors — the source of Cocoon's high
+precision but low recall on this benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.dataframe.table import Table
+from repro.datasets.base import BenchmarkDataset
+from repro.datasets.common import build_extended_clean
+from repro.datasets.errors import ErrorInjector
+
+COLUMNS = ["source", "flight", "scheduled_departure", "actual_departure", "scheduled_arrival", "actual_arrival"]
+
+_SOURCES = ["aa", "airtravelcenter", "boston", "flightarrival", "flightaware", "flightexplorer", "orbitz", "travelocity"]
+_CARRIERS = ["AA", "UA", "DL", "WN", "B6", "AS"]
+_AIRPORTS = ["ORD", "PHX", "JFK", "LAX", "DFW", "SEA", "DEN", "ATL", "BOS", "MIA"]
+
+
+def _format_time(minutes: int) -> str:
+    minutes %= 24 * 60
+    hour = minutes // 60
+    minute = minutes % 60
+    suffix = "a.m." if hour < 12 else "p.m."
+    display_hour = hour % 12
+    if display_hour == 0:
+        display_hour = 12
+    return f"{display_hour}:{minute:02d} {suffix}"
+
+
+def _build_clean(flight_count: int, seed: int) -> Table:
+    rng = random.Random(seed)
+    flights = []
+    for i in range(flight_count):
+        carrier = rng.choice(_CARRIERS)
+        number = rng.randrange(100, 2000)
+        origin, destination = rng.sample(_AIRPORTS, 2)
+        flight_id = f"{carrier}-{number}-{origin}-{destination}"
+        dep = rng.randrange(5 * 60, 22 * 60)
+        duration = rng.randrange(60, 360)
+        flights.append(
+            {
+                "flight": flight_id,
+                "scheduled_departure": _format_time(dep),
+                "actual_departure": _format_time(dep + rng.randrange(0, 30)),
+                "scheduled_arrival": _format_time(dep + duration),
+                "actual_arrival": _format_time(dep + duration + rng.randrange(0, 40)),
+            }
+        )
+    rows: List[List[str]] = []
+    for flight in flights:
+        for source in _SOURCES:
+            rows.append(
+                [
+                    source,
+                    flight["flight"],
+                    flight["scheduled_departure"],
+                    flight["actual_departure"],
+                    flight["scheduled_arrival"],
+                    flight["actual_arrival"],
+                ]
+            )
+    return Table.from_rows("flights", COLUMNS, rows)
+
+
+def build_flights(flight_count: int = 300, seed: int = 0) -> BenchmarkDataset:
+    """Generate the Flights benchmark (default 300 flights × 8 sources = 2400 rows)."""
+    clean = _build_clean(flight_count, seed)
+    injector = ErrorInjector(clean, seed=seed + 1)
+    rows = clean.num_rows
+    scale = rows / 2400
+
+    def shift_time(original: str, rng: random.Random) -> str:
+        """Report a slightly different clock time, as conflicting sources do."""
+        import re as _re
+
+        match = _re.match(r"(\d+):(\d+) (a\.m\.|p\.m\.)", original)
+        if not match:
+            return original + " est."
+        hour, minute, suffix = int(match.group(1)), int(match.group(2)), match.group(3)
+        minute = (minute + rng.choice([-9, -3, -2, -1, 1, 2, 3, 8])) % 60
+        return f"{hour}:{minute:02d} {suffix}"
+
+    # Scheduled times: genuine errors with a clear consensus — a meaningful FD
+    # repair recovers them.
+    injector.inject_fd_violations("flight", "scheduled_departure", int(140 * scale))
+    injector.inject_fd_violations("flight", "scheduled_arrival", int(140 * scale))
+    # Actual times: the ambiguous measurement noise described in the paper.  For
+    # over half of the flights, most sources report slightly different values,
+    # so there is no usable majority and the "true" value is unrecoverable.
+    injector.inject_group_scatter("flight", "actual_departure", group_fraction=0.50,
+                                  corrupt_fraction=0.35, mutate=shift_time)
+    injector.inject_group_scatter("flight", "actual_arrival", group_fraction=0.50,
+                                  corrupt_fraction=0.35, mutate=shift_time)
+    # A handful of typos in flight identifiers.
+    injector.inject_typos("flight", int(30 * scale))
+
+    dirty = injector.build_dirty("flights")
+    dataset = BenchmarkDataset(
+        name="flights",
+        dirty=dirty,
+        clean=clean,
+        injected_errors=injector.errors,
+        type_cast_columns={},
+        dmv_cells=[],
+        description="Flight departure/arrival times reported by conflicting sources",
+    )
+    dataset.extended_clean = build_extended_clean(clean, {}, [])
+    return dataset

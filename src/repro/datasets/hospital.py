@@ -1,0 +1,157 @@
+"""The Hospital benchmark (HoloClean / Raha lineage).
+
+1000 rows × 19 columns describing US hospitals and the quality measures they
+report.  The dominant error classes (paper Table 2): typos in names, cities
+and measure descriptions; functional-dependency violations between provider
+attributes and between measure code and description; ``"yes"/"no"`` columns
+that semantically are booleans; score/sample columns disguised as text with
+``"%"``/``"patients"`` suffixes kept plain here; and disguised missing values.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.dataframe.table import Table
+from repro.datasets.base import BenchmarkDataset
+from repro.datasets.common import (
+    CITY_STATE,
+    SURNAMES,
+    build_extended_clean,
+    make_address,
+    make_phone,
+    make_zip,
+    place_dmv_tokens,
+)
+from repro.datasets.errors import ErrorInjector
+
+_HOSPITAL_KINDS = ["Regional Medical Center", "Community Hospital", "Memorial Hospital",
+                   "University Hospital", "General Hospital"]
+_OWNERS = ["Government - State", "Voluntary non-profit - Private", "Proprietary",
+           "Government - Local", "Voluntary non-profit - Church"]
+_CONDITIONS = {
+    "Heart Attack": [
+        ("AMI-1", "Aspirin given at arrival"),
+        ("AMI-2", "Aspirin prescribed at discharge"),
+        ("AMI-3", "ACE inhibitor for heart failure"),
+        ("AMI-4", "Adult smoking cessation advice"),
+    ],
+    "Heart Failure": [
+        ("HF-1", "Discharge instructions given"),
+        ("HF-2", "Evaluation of left ventricular function"),
+        ("HF-3", "ACE inhibitor or ARB for LVSD"),
+    ],
+    "Pneumonia": [
+        ("PN-2", "Pneumococcal vaccination given"),
+        ("PN-3b", "Blood culture before first antibiotic"),
+        ("PN-5c", "Antibiotic within 6 hours of arrival"),
+        ("PN-6", "Appropriate initial antibiotic selection"),
+    ],
+    "Surgical Infection Prevention": [
+        ("SCIP-INF-1", "Prophylactic antibiotic within one hour"),
+        ("SCIP-INF-2", "Appropriate prophylactic antibiotic selection"),
+        ("SCIP-INF-3", "Prophylactic antibiotic discontinued on time"),
+        ("SCIP-VTE-1", "Venous thromboembolism prophylaxis ordered"),
+        ("SCIP-VTE-2", "Venous thromboembolism prophylaxis received"),
+        ("SCIP-CARD-2", "Beta blocker continued during perioperative period"),
+        ("SCIP-INF-4", "Cardiac surgery patients with controlled blood glucose"),
+        ("SCIP-INF-6", "Appropriate hair removal"),
+        ("SCIP-INF-7", "Normothermia maintained"),
+    ],
+}
+
+COLUMNS = [
+    "ProviderNumber", "HospitalName", "Address1", "Address2", "City", "State",
+    "ZipCode", "CountyName", "PhoneNumber", "HospitalType", "HospitalOwner",
+    "EmergencyService", "Condition", "MeasureCode", "MeasureName", "Score",
+    "Sample", "StateAvg", "ReportedYear",
+]
+
+
+def _build_clean(rows: int, seed: int) -> Table:
+    rng = random.Random(seed)
+    measures = [(condition, code, name) for condition, pairs in _CONDITIONS.items() for code, name in pairs]
+    hospital_count = max(1, rows // len(measures) + 1)
+    hospitals: List[Dict[str, object]] = []
+    for index in range(hospital_count):
+        city, state = CITY_STATE[index % len(CITY_STATE)]
+        name = f"{rng.choice(SURNAMES)} {_HOSPITAL_KINDS[index % len(_HOSPITAL_KINDS)]}"
+        hospitals.append(
+            {
+                "ProviderNumber": f"{10000 + index}",
+                "HospitalName": name,
+                "Address1": make_address(rng),
+                "Address2": "",
+                "City": city,
+                "State": state,
+                "ZipCode": make_zip(rng),
+                "CountyName": f"{rng.choice(SURNAMES)} County",
+                "PhoneNumber": make_phone(rng),
+                "HospitalType": "Acute Care Hospitals",
+                "HospitalOwner": rng.choice(_OWNERS),
+                "EmergencyService": rng.choice(["yes", "no"]),
+            }
+        )
+    table_rows = []
+    state_avg: Dict[tuple, str] = {}
+    row_index = 0
+    while len(table_rows) < rows:
+        hospital = hospitals[row_index % len(hospitals)]
+        condition, code, name = measures[(row_index // len(hospitals)) % len(measures)]
+        score = rng.randrange(40, 100)
+        key = (hospital["State"], code)
+        if key not in state_avg:
+            state_avg[key] = str(rng.randrange(50, 98))
+        table_rows.append(
+            [
+                hospital["ProviderNumber"], hospital["HospitalName"], hospital["Address1"],
+                hospital["Address2"], hospital["City"], hospital["State"], hospital["ZipCode"],
+                hospital["CountyName"], hospital["PhoneNumber"], hospital["HospitalType"],
+                hospital["HospitalOwner"], hospital["EmergencyService"], condition, code, name,
+                str(score), str(rng.randrange(10, 400)), state_avg[key], "2012",
+            ]
+        )
+        row_index += 1
+    return Table.from_rows("hospital", COLUMNS, table_rows[:rows])
+
+
+def build_hospital(rows: int = 1000, seed: int = 0) -> BenchmarkDataset:
+    """Generate the Hospital benchmark (default 1000 × 19, as in the paper)."""
+    clean = _build_clean(rows, seed)
+    rng = random.Random(seed + 1)
+
+    # Disguised missing values live in Score / Sample in the original benchmark.
+    dmv_cells = []
+    dmv_cells += place_dmv_tokens(clean, "Score", fraction=0.12, rng=rng)
+    dmv_cells += place_dmv_tokens(clean, "Sample", fraction=0.11, rng=rng)
+
+    injector = ErrorInjector(clean, seed=seed + 2)
+    scale = rows / 1000
+    # Typos (paper census: 213) spread over the name-like attributes.
+    injector.inject_typos("HospitalName", int(60 * scale))
+    injector.inject_typos("City", int(45 * scale))
+    injector.inject_typos("MeasureName", int(58 * scale))
+    injector.inject_typos("Address1", int(30 * scale))
+    injector.inject_typos("CountyName", int(20 * scale))
+    # Functional dependency violations (paper census: 331).
+    injector.inject_fd_violations("ProviderNumber", "ZipCode", int(70 * scale))
+    injector.inject_fd_violations("ProviderNumber", "PhoneNumber", int(60 * scale))
+    injector.inject_fd_violations("MeasureCode", "Condition", int(70 * scale))
+    injector.inject_fd_violations("ZipCode", "State", int(66 * scale))
+    injector.inject_fd_violations("MeasureCode", "StateAvg", 0)  # kept for documentation; StateAvg varies by state
+    injector.inject_fd_violations("ProviderNumber", "HospitalOwner", int(65 * scale))
+
+    dirty = injector.build_dirty("hospital")
+    type_cast_columns = {"EmergencyService": "BOOLEAN", "Score": "INTEGER", "Sample": "INTEGER"}
+    dataset = BenchmarkDataset(
+        name="hospital",
+        dirty=dirty,
+        clean=clean,
+        injected_errors=injector.errors,
+        type_cast_columns=type_cast_columns,
+        dmv_cells=dmv_cells,
+        description="US hospital quality measures with typos and FD violations",
+    )
+    dataset.extended_clean = build_extended_clean(clean, type_cast_columns, dmv_cells)
+    return dataset

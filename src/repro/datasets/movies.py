@@ -1,0 +1,114 @@
+"""The Movies benchmark (Magellan lineage).
+
+Film metadata merged from multiple web sources: the largest benchmark
+(7390 × 17 in the paper).  Characteristic errors: duration expressed in mixed
+units (``"90 min"`` vs ``"1 hr. 30 min."``), value misplacements (a country
+recorded in the language column), typos, disguised missing values, and many
+columns whose semantic type is numeric/boolean but which arrive as text.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.dataframe.table import Table
+from repro.datasets.base import BenchmarkDataset
+from repro.datasets.common import FIRST_NAMES, SURNAMES, build_extended_clean, place_dmv_tokens
+from repro.datasets.errors import ErrorInjector
+
+COLUMNS = [
+    "movie_id", "name", "year", "release_date", "director", "creator", "actors",
+    "language", "country", "duration", "rating_value", "rating_count", "review_count",
+    "genre", "content_rating", "description", "color",
+]
+
+_GENRES = ["Drama", "Comedy", "Action", "Thriller", "Horror", "Romance", "Adventure",
+           "Animation", "Documentary", "Crime", "Fantasy", "Mystery", "Biography", "Western"]
+_LANG_COUNTRY = [("English", "USA"), ("English", "UK"), ("French", "France"), ("German", "Germany"),
+                 ("Spanish", "Spain"), ("Italian", "Italy"), ("Japanese", "Japan"), ("Hindi", "India"),
+                 ("Korean", "South Korea"), ("Mandarin", "China")]
+_CONTENT_RATINGS = ["G", "PG", "PG-13", "R", "Not Rated"]
+_TITLE_WORDS_A = ["Midnight", "Silent", "Broken", "Golden", "Lost", "Hidden", "Final", "Dark",
+                  "Eternal", "Crimson", "Distant", "Burning", "Frozen", "Savage", "Gentle"]
+_TITLE_WORDS_B = ["Horizon", "Promise", "Empire", "Garden", "Journey", "Secret", "Shadow",
+                  "Symphony", "Harvest", "Voyage", "Kingdom", "Memory", "River", "Storm", "Echo"]
+
+
+def _build_clean(rows: int, seed: int) -> Table:
+    rng = random.Random(seed)
+    table_rows: List[List[str]] = []
+    for i in range(rows):
+        language, country = rng.choice(_LANG_COUNTRY)
+        year = rng.randrange(1950, 2016)
+        minutes = rng.randrange(75, 195)
+        director = f"{rng.choice(FIRST_NAMES)} {rng.choice(SURNAMES)}"
+        actors = ", ".join(f"{rng.choice(FIRST_NAMES)} {rng.choice(SURNAMES)}" for _ in range(3))
+        name = f"The {rng.choice(_TITLE_WORDS_A)} {rng.choice(_TITLE_WORDS_B)}"
+        if rng.random() < 0.4:
+            name = f"{rng.choice(_TITLE_WORDS_A)} {rng.choice(_TITLE_WORDS_B)} {rng.randrange(2, 4)}"
+        table_rows.append(
+            [
+                f"m{i:05d}", name, str(year),
+                f"{rng.randrange(1, 13):02d}/{rng.randrange(1, 29):02d}/{year}",
+                director, director if rng.random() < 0.5 else f"{rng.choice(FIRST_NAMES)} {rng.choice(SURNAMES)}",
+                actors, language, country, f"{minutes} min", f"{rng.uniform(2.0, 9.5):.1f}",
+                str(rng.randrange(100, 500000)), str(rng.randrange(5, 2000)),
+                rng.choice(_GENRES), rng.choice(_CONTENT_RATINGS),
+                f"A {rng.choice(_GENRES).lower()} about a {rng.choice(_TITLE_WORDS_B).lower()}",
+                rng.choice(["Color", "Black and White"]),
+            ]
+        )
+    return Table.from_rows("movies", COLUMNS, table_rows)
+
+
+def build_movies(rows: int = 7390, seed: int = 0) -> BenchmarkDataset:
+    """Generate the Movies benchmark (default 7390 × 17, as in the paper)."""
+    clean = _build_clean(rows, seed)
+    rng = random.Random(seed + 1)
+    dmv_cells = []
+    dmv_cells += place_dmv_tokens(clean, "content_rating", fraction=0.01, rng=rng, tokens=("N/A", "Unrated?", "null"))
+    dmv_cells += place_dmv_tokens(clean, "review_count", fraction=0.007, rng=rng)
+
+    injector = ErrorInjector(clean, seed=seed + 2)
+    scale = rows / 7390
+    # Duration unit inconsistencies: "103 min" → "1 hr. 43 min." style.
+    duration_variants = {}
+    for value in set(clean.column("duration").values):
+        minutes = int(str(value).split()[0])
+        duration_variants[str(value)] = [f"{minutes // 60} hr. {minutes % 60} min."]
+    injector.inject_inconsistency("duration", int(430 * scale), duration_variants)
+    # Inconsistent representations in colour / content rating / country.
+    injector.inject_inconsistency("color", int(200 * scale), {"Color": ["Colour"], "Black and White": ["B&W"]})
+    injector.inject_inconsistency("content_rating", int(140 * scale), {"Not Rated": ["Unrated", "NR"], "PG-13": ["PG13"]})
+    injector.inject_inconsistency("country", int(220 * scale), {"USA": ["United States", "U.S."],
+                                                                "UK": ["United Kingdom"]})
+    # Typos (paper census: 184) in genre / language / director.
+    injector.inject_typos("genre", int(130 * scale))
+    injector.inject_typos("language", int(54 * scale))
+    injector.inject_typos("director", int(20 * scale))
+    # Value misplacements (paper census: 938): countries in the language column and vice versa.
+    injector.inject_misplacement("country", "language", int(90 * scale))
+    injector.inject_misplacement("language", "country", int(70 * scale))
+    injector.inject_misplacement("director", "creator", int(40 * scale))
+
+    dirty = injector.build_dirty("movies")
+    type_cast_columns = {
+        "year": "INTEGER",
+        "duration": "DOUBLE",
+        "rating_value": "DOUBLE",
+        "rating_count": "INTEGER",
+        "review_count": "INTEGER",
+        "release_date": "DATE",
+    }
+    dataset = BenchmarkDataset(
+        name="movies",
+        dirty=dirty,
+        clean=clean,
+        injected_errors=injector.errors,
+        type_cast_columns=type_cast_columns,
+        dmv_cells=dmv_cells,
+        description="Film metadata with unit inconsistencies, misplacements and typos",
+    )
+    dataset.extended_clean = build_extended_clean(clean, type_cast_columns, dmv_cells)
+    return dataset

@@ -1,0 +1,127 @@
+"""The Rayyan benchmark (systematic-review bibliography records).
+
+Real-world bibliographic data with many typos, redundant language
+representations (the paper's running example: ``"English"`` vs ``"eng"``),
+inconsistent date formats, disguised missing values, and value misplacements
+(e.g. a journal name recorded in the pagination column).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.dataframe.table import Table
+from repro.datasets.base import BenchmarkDataset
+from repro.datasets.common import FIRST_NAMES, SURNAMES, build_extended_clean, place_dmv_tokens
+from repro.datasets.errors import ErrorInjector
+
+COLUMNS = [
+    "article_id", "article_title", "journal_title", "article_language", "journal_issn",
+    "article_pagination", "authors_list", "article_jvolumn", "article_jissue",
+    "article_jcreated_at", "journal_abbreviation",
+]
+
+_LANGUAGES = [("eng", 0.72), ("fre", 0.08), ("ger", 0.07), ("spa", 0.05), ("chi", 0.04), ("por", 0.04)]
+_LANGUAGE_VARIANTS = {
+    "eng": ["English"],
+    "fre": ["French"],
+    "ger": ["German"],
+    "spa": ["Spanish"],
+    "chi": ["Chinese"],
+    "por": ["Portuguese"],
+}
+_TOPICS = ["randomized controlled trial", "systematic review", "cohort study", "case report",
+           "meta analysis", "clinical trial", "cross sectional study", "qualitative study"]
+_SUBJECTS = ["diabetes", "hypertension", "asthma", "depression", "obesity", "stroke",
+             "pneumonia", "arthritis", "migraine", "anemia"]
+_JOURNALS = [
+    "Journal of Clinical Medicine", "The Lancet", "British Medical Journal",
+    "Annals of Internal Medicine", "Journal of Epidemiology", "Pediatrics Review",
+    "Cardiology Today", "Journal of Public Health", "Respiratory Medicine",
+    "Clinical Nutrition Journal", "Journal of Mental Health", "Oncology Reports",
+]
+
+
+def _weighted_language(rng: random.Random) -> str:
+    roll = rng.random()
+    cumulative = 0.0
+    for language, weight in _LANGUAGES:
+        cumulative += weight
+        if roll <= cumulative:
+            return language
+    return "eng"
+
+
+def _build_clean(rows: int, seed: int) -> Table:
+    rng = random.Random(seed)
+    journal_info = {
+        journal: {
+            "issn": f"{rng.randrange(1000, 9999)}-{rng.randrange(1000, 9999)}",
+            "abbreviation": "".join(word[0].upper() for word in journal.split()[:3]),
+        }
+        for journal in _JOURNALS
+    }
+    table_rows: List[List[str]] = []
+    for i in range(rows):
+        journal = rng.choice(_JOURNALS)
+        info = journal_info[journal]
+        title = f"A {rng.choice(_TOPICS)} of {rng.choice(_SUBJECTS)} in {rng.choice(_SUBJECTS)} patients"
+        first_page = rng.randrange(1, 900)
+        authors = "; ".join(
+            f"{rng.choice(SURNAMES)}, {rng.choice(FIRST_NAMES)[0]}." for _ in range(rng.randrange(1, 4))
+        )
+        created = f"{rng.randrange(1, 13):02d}/{rng.randrange(1, 29):02d}/{rng.randrange(1998, 2016)}"
+        table_rows.append(
+            [
+                str(100000 + i), title, journal, _weighted_language(rng), info["issn"],
+                f"{first_page}-{first_page + rng.randrange(4, 20)}", authors,
+                str(rng.randrange(1, 60)), str(rng.randrange(1, 13)), created, info["abbreviation"],
+            ]
+        )
+    return Table.from_rows("rayyan", COLUMNS, table_rows)
+
+
+def build_rayyan(rows: int = 1000, seed: int = 0) -> BenchmarkDataset:
+    """Generate the Rayyan benchmark (default 1000 × 11)."""
+    clean = _build_clean(rows, seed)
+    rng = random.Random(seed + 1)
+    dmv_cells = []
+    dmv_cells += place_dmv_tokens(clean, "article_jissue", fraction=0.08, rng=rng)
+    dmv_cells += place_dmv_tokens(clean, "article_pagination", fraction=0.05, rng=rng, tokens=("N/A", "-", "--"))
+
+    injector = ErrorInjector(clean, seed=seed + 2)
+    scale = rows / 1000
+    # The running example: language names written out instead of ISO codes.
+    injector.inject_inconsistency("article_language", int(95 * scale), _LANGUAGE_VARIANTS)
+    # Typos in journal titles and abbreviations (frequent categorical values → fixable).
+    injector.inject_typos("journal_title", int(80 * scale))
+    injector.inject_typos("journal_abbreviation", int(30 * scale), min_length=3)
+    # Typos in article titles (near-unique free text → realistically unfixable).
+    injector.inject_typos("article_title", int(25 * scale))
+    # Date-format inconsistencies in the created-at column.
+    date_variants = {}
+    for value in set(clean.column("article_jcreated_at").values):
+        month, day, year = str(value).split("/")
+        date_variants[str(value)] = [f"{year}-{month}-{day}"]
+    injector.inject_inconsistency("article_jcreated_at", int(60 * scale), date_variants)
+    # FD violations journal_title → issn / abbreviation.
+    injector.inject_fd_violations("journal_title", "journal_issn", int(30 * scale))
+    injector.inject_fd_violations("journal_title", "journal_abbreviation", int(18 * scale))
+    # Value misplacements (journal names in the pagination column, etc.).
+    injector.inject_misplacement("journal_title", "article_pagination", int(15 * scale))
+    injector.inject_misplacement("article_language", "article_jissue", int(10 * scale))
+
+    dirty = injector.build_dirty("rayyan")
+    type_cast_columns = {"article_jvolumn": "INTEGER", "article_jissue": "INTEGER"}
+    dataset = BenchmarkDataset(
+        name="rayyan",
+        dirty=dirty,
+        clean=clean,
+        injected_errors=injector.errors,
+        type_cast_columns=type_cast_columns,
+        dmv_cells=dmv_cells,
+        description="Bibliographic records with language-code and format inconsistencies",
+    )
+    dataset.extended_clean = build_extended_clean(clean, type_cast_columns, dmv_cells)
+    return dataset

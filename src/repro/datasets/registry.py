@@ -1,0 +1,51 @@
+"""Dataset registry: name → builder."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.datasets.base import BenchmarkDataset
+from repro.datasets.beers import build_beers
+from repro.datasets.flights import build_flights
+from repro.datasets.hospital import build_hospital
+from repro.datasets.movies import build_movies
+from repro.datasets.rayyan import build_rayyan
+
+# Paper-scale row counts for each benchmark.
+_PAPER_ROWS: Dict[str, int] = {
+    "hospital": 1000,
+    "flights": 300,     # flights, not rows: 300 flights × 8 sources = 2400 rows
+    "beers": 2410,
+    "rayyan": 1000,
+    "movies": 7390,
+}
+
+DATASET_BUILDERS: Dict[str, Callable[..., BenchmarkDataset]] = {
+    "hospital": build_hospital,
+    "flights": build_flights,
+    "beers": build_beers,
+    "rayyan": build_rayyan,
+    "movies": build_movies,
+}
+
+
+def dataset_names() -> List[str]:
+    """Names of the five benchmarks, in the paper's presentation order."""
+    return ["hospital", "flights", "beers", "rayyan", "movies"]
+
+
+def load_dataset(name: str, seed: int = 0, scale: float = 1.0) -> BenchmarkDataset:
+    """Build a benchmark by name.
+
+    ``scale`` shrinks the dataset proportionally (error rates scale with it),
+    which keeps unit tests and quick experiments fast; ``scale=1.0`` is the
+    paper-scale dataset.
+    """
+    key = name.lower()
+    if key not in DATASET_BUILDERS:
+        raise KeyError(f"Unknown dataset {name!r}; available: {dataset_names()}")
+    size = max(20, int(_PAPER_ROWS[key] * scale))
+    if key == "flights":
+        size = max(10, int(_PAPER_ROWS[key] * scale))
+        return build_flights(flight_count=size, seed=seed)
+    return DATASET_BUILDERS[key](size, seed=seed)

@@ -1,0 +1,16 @@
+"""Evaluation: cell-level precision/recall/F1 under the paper's conventions."""
+
+from repro.evaluation.conventions import EvaluationConventions, values_equivalent
+from repro.evaluation.metrics import Scores, evaluate_repairs, diff_repairs, evaluate_output_table
+from repro.evaluation.runner import ExperimentRunner, SystemResult
+
+__all__ = [
+    "EvaluationConventions",
+    "values_equivalent",
+    "Scores",
+    "evaluate_repairs",
+    "diff_repairs",
+    "evaluate_output_table",
+    "ExperimentRunner",
+    "SystemResult",
+]

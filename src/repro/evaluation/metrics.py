@@ -1,0 +1,146 @@
+"""Cell-level repair metrics.
+
+Following the data-cleaning literature (HoloClean, Raha/Baran) and the paper,
+systems are scored on cell repairs:
+
+* an **error cell** is a cell whose dirty value is not equivalent to the
+  ground-truth value under the evaluation conventions;
+* a **repair** is a cell whose value the system changed (to something not
+  equivalent to the original dirty value);
+* a repair is **correct** when the new value is equivalent to the ground
+  truth and the cell was actually an error cell;
+* precision = correct repairs / repairs, recall = correct repairs / error
+  cells, and F1 is their harmonic mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.dataframe.table import Table
+from repro.evaluation.conventions import EvaluationConventions, values_equivalent
+
+Cell = Tuple[int, str]
+
+
+@dataclass
+class Scores:
+    """Precision / recall / F1 plus the underlying counts."""
+
+    precision: float
+    recall: float
+    f1: float
+    correct_repairs: int = 0
+    total_repairs: int = 0
+    total_errors: int = 0
+
+    def as_row(self) -> Tuple[float, float, float]:
+        return (self.precision, self.recall, self.f1)
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"P={self.precision:.2f} R={self.recall:.2f} F={self.f1:.2f}"
+
+
+def _f1(precision: float, recall: float) -> float:
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def error_cells(
+    dirty: Table,
+    clean: Table,
+    conventions: Optional[EvaluationConventions] = None,
+    columns: Optional[Sequence[str]] = None,
+) -> Set[Cell]:
+    """Cells whose dirty value is not equivalent to the ground truth."""
+    conv = conventions or EvaluationConventions.paper_main()
+    names = list(columns) if columns is not None else [c for c in clean.column_names if c in dirty.column_names]
+    cells: Set[Cell] = set()
+    for column in names:
+        dirty_values = dirty.column(column).values
+        clean_values = clean.column(column).values
+        for i, (d, c) in enumerate(zip(dirty_values, clean_values)):
+            if not values_equivalent(d, c, conv):
+                cells.add((i, column))
+    return cells
+
+
+def evaluate_repairs(
+    dirty: Table,
+    clean: Table,
+    repaired_cells: Mapping[Cell, object],
+    conventions: Optional[EvaluationConventions] = None,
+    removed_rows: Iterable[int] = (),
+) -> Scores:
+    """Score a system that reports its repairs as ``(row, column) → new value``.
+
+    ``removed_rows`` (deduplication) are excluded from the error denominator,
+    since the benchmark ground truth has no corresponding row to compare to.
+    """
+    conv = conventions or EvaluationConventions.paper_main()
+    removed = set(removed_rows)
+    errors = {cell for cell in error_cells(dirty, clean, conv) if cell[0] not in removed}
+
+    total_repairs = 0
+    correct = 0
+    for (row, column), new_value in repaired_cells.items():
+        if row in removed or column not in dirty.column_names or column not in clean.column_names:
+            continue
+        if row >= dirty.num_rows:
+            continue
+        old_value = dirty.cell(row, column)
+        if values_equivalent(old_value, new_value, conv):
+            # A no-op under the conventions (e.g. "yes" → True in the main
+            # evaluation) is neither rewarded nor penalised.
+            continue
+        total_repairs += 1
+        truth = clean.cell(row, column)
+        if values_equivalent(new_value, truth, conv) and (row, column) in errors:
+            correct += 1
+    precision = correct / total_repairs if total_repairs else 0.0
+    recall = correct / len(errors) if errors else 0.0
+    return Scores(
+        precision=precision,
+        recall=recall,
+        f1=_f1(precision, recall),
+        correct_repairs=correct,
+        total_repairs=total_repairs,
+        total_errors=len(errors),
+    )
+
+
+def diff_repairs(
+    dirty: Table,
+    output: Table,
+    conventions: Optional[EvaluationConventions] = None,
+) -> Dict[Cell, object]:
+    """Derive the repair set of a system that returns a full repaired table.
+
+    Assumes the output preserves row order and count (true for all baselines
+    here); columns missing from the output are treated as unchanged.
+    """
+    conv = conventions or EvaluationConventions.paper_main()
+    repairs: Dict[Cell, object] = {}
+    rows = min(dirty.num_rows, output.num_rows)
+    for column in dirty.column_names:
+        if column not in output.column_names:
+            continue
+        dirty_values = dirty.column(column).values
+        output_values = output.column(column).values
+        for i in range(rows):
+            if not values_equivalent(dirty_values[i], output_values[i], conv):
+                repairs[(i, column)] = output_values[i]
+    return repairs
+
+
+def evaluate_output_table(
+    dirty: Table,
+    clean: Table,
+    output: Table,
+    conventions: Optional[EvaluationConventions] = None,
+) -> Scores:
+    """Score a system from its full output table."""
+    conv = conventions or EvaluationConventions.paper_main()
+    return evaluate_repairs(dirty, clean, diff_repairs(dirty, output, conv), conv)

@@ -1,0 +1,47 @@
+"""Command-line entry point: ``python -m repro.experiments <artifact>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.figures import ascii_bar_chart, f1_series
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.table2 import format_table2, run_table2
+from repro.experiments.table3 import format_table3, run_table3
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation tables on the synthetic benchmarks.",
+    )
+    parser.add_argument("artifact", choices=["table1", "table2", "table3", "figure-f1", "all"],
+                        help="which artifact to regenerate")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="dataset scale factor (1.0 = paper-scale row counts)")
+    parser.add_argument("--seed", type=int, default=0, help="random seed for dataset generation")
+    parser.add_argument("--datasets", nargs="*", default=None, help="restrict to specific benchmarks")
+    parser.add_argument("--systems", nargs="*", default=None, help="restrict to specific systems")
+    args = parser.parse_args(argv)
+
+    if args.artifact in ("table1", "all", "figure-f1"):
+        results = run_table1(scale=args.scale, seed=args.seed, datasets=args.datasets, systems=args.systems)
+        if args.artifact in ("table1", "all"):
+            print(format_table1(results))
+            print()
+        if args.artifact in ("figure-f1", "all"):
+            print(ascii_bar_chart(f1_series(results)))
+            print()
+    if args.artifact in ("table2", "all"):
+        print(format_table2(run_table2(scale=args.scale, seed=args.seed, datasets=args.datasets)))
+        print()
+    if args.artifact in ("table3", "all"):
+        results = run_table3(scale=args.scale, seed=args.seed, datasets=args.datasets, systems=args.systems)
+        print(format_table3(results))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Figure-style outputs derived from the experiment results.
+
+The paper's figures are architectural (Figure 1), prompt listings
+(Figures 2–3) and UI screenshots (Figures 4–5); the quantitative results are
+the tables.  For completeness the F1 comparison across systems is exposed as
+a plot-ready series plus an ASCII bar chart, and the workflow decomposition
+of Figure 1 can be rendered as a textual trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.result import CleaningResult
+from repro.core.workflow import ISSUE_ORDER
+from repro.evaluation.runner import SystemResult
+
+
+def f1_series(results: List[SystemResult]) -> Dict[str, Dict[str, float]]:
+    """``system → dataset → F1`` series, ready for plotting."""
+    series: Dict[str, Dict[str, float]] = {}
+    for result in results:
+        series.setdefault(result.system, {})[result.dataset] = result.scores.f1
+    return series
+
+
+def ascii_bar_chart(series: Dict[str, Dict[str, float]], width: int = 40) -> str:
+    """Render the F1 series as an ASCII bar chart grouped by dataset."""
+    datasets: List[str] = []
+    for per_dataset in series.values():
+        for dataset in per_dataset:
+            if dataset not in datasets:
+                datasets.append(dataset)
+    lines: List[str] = ["F1 comparison across systems"]
+    for dataset in datasets:
+        lines.append(f"\n{dataset}")
+        for system, per_dataset in series.items():
+            value = per_dataset.get(dataset)
+            if value is None:
+                continue
+            bar = "#" * int(round(value * width))
+            lines.append(f"  {system:<12}|{bar:<{width}}| {value:.2f}")
+    return "\n".join(lines)
+
+
+def workflow_trace(result: CleaningResult) -> str:
+    """Figure 1 as a textual trace: issue types × cleaning steps actually executed."""
+    lines = ["Cocoon workflow decomposition (Figure 1)"]
+    by_issue: Dict[str, List] = {}
+    for operator_result in result.operator_results:
+        by_issue.setdefault(operator_result.issue_type, []).append(operator_result)
+    for issue in ISSUE_ORDER:
+        runs = by_issue.get(issue, [])
+        if not runs:
+            continue
+        applied = sum(1 for r in runs if r.applied)
+        detected = sum(1 for r in runs if r.finding is not None and r.finding.detected)
+        repairs = sum(len(r.repairs) for r in runs)
+        lines.append(
+            f"  {issue:<26} targets={len(runs):<4} statistical+semantic detections={detected:<4} "
+            f"cleanings applied={applied:<4} cell repairs={repairs}"
+        )
+    return "\n".join(lines)

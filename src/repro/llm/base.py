@@ -1,0 +1,86 @@
+"""Core abstractions for LLM access."""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class LLMUsage:
+    """Token accounting for a single call (estimated for simulated models)."""
+
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+
+@dataclass
+class LLMResponse:
+    """The text completion plus usage metadata returned by a client."""
+
+    text: str
+    model: str
+    usage: LLMUsage = field(default_factory=LLMUsage)
+    latency_seconds: float = 0.0
+
+
+@dataclass
+class CallRecord:
+    """One prompt/response pair, kept for interpretability and debugging."""
+
+    prompt: str
+    response: str
+    model: str
+    purpose: str = ""
+    latency_seconds: float = 0.0
+
+
+def estimate_tokens(text: str) -> int:
+    """Rough token estimate (~4 characters per token) used for usage accounting."""
+    return max(1, len(text) // 4)
+
+
+class LLMClient(abc.ABC):
+    """Abstract interface every model client implements.
+
+    The pipeline only ever calls :meth:`complete`; it never inspects the
+    client, so swapping the simulated model for a hosted model is a one-line
+    configuration change.
+    """
+
+    model_name: str = "unknown"
+
+    def __init__(self) -> None:
+        self.history: List[CallRecord] = []
+
+    @abc.abstractmethod
+    def _complete(self, prompt: str, system: Optional[str] = None) -> str:
+        """Produce the completion text for a prompt."""
+
+    def complete(self, prompt: str, system: Optional[str] = None, purpose: str = "") -> LLMResponse:
+        """Run one completion and record it in :attr:`history`."""
+        start = time.perf_counter()
+        text = self._complete(prompt, system=system)
+        elapsed = time.perf_counter() - start
+        self.history.append(
+            CallRecord(prompt=prompt, response=text, model=self.model_name, purpose=purpose, latency_seconds=elapsed)
+        )
+        usage = LLMUsage(prompt_tokens=estimate_tokens(prompt), completion_tokens=estimate_tokens(text))
+        return LLMResponse(text=text, model=self.model_name, usage=usage, latency_seconds=elapsed)
+
+    # -- telemetry ---------------------------------------------------------
+    @property
+    def call_count(self) -> int:
+        return len(self.history)
+
+    def calls_for(self, purpose: str) -> List[CallRecord]:
+        return [c for c in self.history if c.purpose == purpose]
+
+    def reset_history(self) -> None:
+        self.history.clear()

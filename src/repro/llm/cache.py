@@ -1,0 +1,57 @@
+"""Prompt-level response caching.
+
+LLM calls dominate the cost and latency of the cleaning pipeline, and the
+same prompt (same column profile) recurs across runs, re-runs with human
+feedback, and benchmark repetitions.  ``CachingLLMClient`` wraps any client
+with an exact-match prompt cache, optionally persisted to a JSON file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.llm.base import LLMClient
+
+
+class CachingLLMClient(LLMClient):
+    """Wraps another :class:`LLMClient` with an exact-match prompt cache."""
+
+    def __init__(self, inner: LLMClient, cache_path: Optional[Union[str, Path]] = None):
+        super().__init__()
+        self.inner = inner
+        self.model_name = f"cached({inner.model_name})"
+        self.cache_path = Path(cache_path) if cache_path is not None else None
+        self._cache: Dict[str, str] = {}
+        self.hits = 0
+        self.misses = 0
+        if self.cache_path is not None and self.cache_path.exists():
+            self._cache = json.loads(self.cache_path.read_text(encoding="utf-8"))
+
+    @staticmethod
+    def _key(prompt: str, system: Optional[str]) -> str:
+        digest = hashlib.sha256()
+        digest.update(prompt.encode("utf-8"))
+        if system:
+            digest.update(b"\0")
+            digest.update(system.encode("utf-8"))
+        return digest.hexdigest()
+
+    def _complete(self, prompt: str, system: Optional[str] = None) -> str:
+        key = self._key(prompt, system)
+        if key in self._cache:
+            self.hits += 1
+            return self._cache[key]
+        self.misses += 1
+        text = self.inner.complete(prompt, system=system).text
+        self._cache[key] = text
+        if self.cache_path is not None:
+            self.cache_path.write_text(json.dumps(self._cache, indent=0), encoding="utf-8")
+        return text
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

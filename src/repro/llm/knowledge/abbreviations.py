@@ -1,0 +1,141 @@
+"""Synonym and abbreviation knowledge: states, units, months, durations.
+
+These are the concept families behind the "inconsistent representation"
+errors the paper highlights: ``"oz"`` vs ``"ounce"`` in Beers, ``"100 min"``
+vs ``"1 hour 40 min"`` in Movies, state names vs postal codes in Hospital.
+Each family maps a lowercase surface form to a canonical *concept key*; two
+values with the same concept key denote the same real-world entity.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+# US states: postal code → surface forms.
+US_STATES: Dict[str, List[str]] = {
+    "AL": ["alabama"], "AK": ["alaska"], "AZ": ["arizona"], "AR": ["arkansas"],
+    "CA": ["california"], "CO": ["colorado"], "CT": ["connecticut"], "DE": ["delaware"],
+    "FL": ["florida"], "GA": ["georgia"], "HI": ["hawaii"], "ID": ["idaho"],
+    "IL": ["illinois"], "IN": ["indiana"], "IA": ["iowa"], "KS": ["kansas"],
+    "KY": ["kentucky"], "LA": ["louisiana"], "ME": ["maine"], "MD": ["maryland"],
+    "MA": ["massachusetts"], "MI": ["michigan"], "MN": ["minnesota"], "MS": ["mississippi"],
+    "MO": ["missouri"], "MT": ["montana"], "NE": ["nebraska"], "NV": ["nevada"],
+    "NH": ["new hampshire"], "NJ": ["new jersey"], "NM": ["new mexico"], "NY": ["new york"],
+    "NC": ["north carolina"], "ND": ["north dakota"], "OH": ["ohio"], "OK": ["oklahoma"],
+    "OR": ["oregon"], "PA": ["pennsylvania"], "RI": ["rhode island"], "SC": ["south carolina"],
+    "SD": ["south dakota"], "TN": ["tennessee"], "TX": ["texas"], "UT": ["utah"],
+    "VT": ["vermont"], "VA": ["virginia"], "WA": ["washington"], "WV": ["west virginia"],
+    "WI": ["wisconsin"], "WY": ["wyoming"], "DC": ["district of columbia"],
+}
+
+# Measurement units: canonical token → synonyms (all lowercase).
+UNIT_SYNONYMS: Dict[str, List[str]] = {
+    "oz": ["ounce", "ounces", "oz.", "oz"],
+    "ml": ["milliliter", "milliliters", "millilitre", "ml"],
+    "l": ["liter", "liters", "litre", "l"],
+    "lb": ["pound", "pounds", "lbs", "lb"],
+    "kg": ["kilogram", "kilograms", "kg"],
+    "g": ["gram", "grams", "g"],
+    "min": ["minute", "minutes", "min", "min.", "mins"],
+    "hr": ["hour", "hours", "hr", "hr.", "hrs"],
+    "sec": ["second", "seconds", "sec", "secs"],
+    "%": ["percent", "pct", "%"],
+    "mg": ["milligram", "milligrams", "mg"],
+}
+
+MONTHS: Dict[str, List[str]] = {
+    "01": ["january", "jan"], "02": ["february", "feb"], "03": ["march", "mar"],
+    "04": ["april", "apr"], "05": ["may"], "06": ["june", "jun"],
+    "07": ["july", "jul"], "08": ["august", "aug"], "09": ["september", "sep", "sept"],
+    "10": ["october", "oct"], "11": ["november", "nov"], "12": ["december", "dec"],
+}
+
+WEEKDAYS: Dict[str, List[str]] = {
+    "mon": ["monday", "mon"], "tue": ["tuesday", "tue", "tues"], "wed": ["wednesday", "wed"],
+    "thu": ["thursday", "thu", "thur", "thurs"], "fri": ["friday", "fri"],
+    "sat": ["saturday", "sat"], "sun": ["sunday", "sun"],
+}
+
+# Generic cross-domain synonym groups (hospital/movies style vocabulary).
+GENERIC_SYNONYMS: List[List[str]] = [
+    ["yes", "y", "true"],
+    ["no", "n", "false"],
+    ["male", "m"],
+    ["female", "f"],
+    ["street", "st", "st."],
+    ["avenue", "ave", "ave."],
+    ["road", "rd", "rd."],
+    ["boulevard", "blvd", "blvd."],
+    ["drive", "dr", "dr."],
+    ["united states", "usa", "us", "u.s.", "u.s.a."],
+    ["united kingdom", "uk", "u.k."],
+    ["doctor", "dr"],
+    ["saint", "st"],
+    ["not rated", "unrated", "nr"],
+    ["pg-13", "pg13"],
+    ["tv-14", "tv14"],
+    ["tv-ma", "tvma"],
+    ["color", "colour"],
+    ["black and white", "b&w", "b/w"],
+]
+
+_CONCEPT_INDEX: Dict[str, str] = {}
+
+
+def _register(group: List[str], canonical: str) -> None:
+    for form in group:
+        _CONCEPT_INDEX[form.lower()] = canonical.lower()
+
+
+for _code, _names in US_STATES.items():
+    _register([_code] + _names, f"state:{_code}")
+for _canon, _forms in UNIT_SYNONYMS.items():
+    _register(_forms + [_canon], f"unit:{_canon}")
+for _num, _forms in MONTHS.items():
+    _register(_forms, f"month:{_num}")
+for _canon, _forms in WEEKDAYS.items():
+    _register(_forms, f"weekday:{_canon}")
+for _group in GENERIC_SYNONYMS:
+    _register(_group, f"syn:{_group[0]}")
+
+_DURATION_RE = re.compile(
+    r"^\s*(?:(\d+)\s*(?:h|hr|hrs|hour|hours)\.?\s*)?(?:(\d+)\s*(?:m|min|mins|minute|minutes)\.?)?\s*$",
+    re.IGNORECASE,
+)
+
+
+def parse_duration_minutes(value: str) -> Optional[int]:
+    """Parse duration expressions like ``"1 hr. 30 min."`` or ``"90 min"`` to minutes."""
+    text = str(value).strip().lower().replace(".", ". ").replace("  ", " ")
+    match = _DURATION_RE.match(text)
+    if not match or (match.group(1) is None and match.group(2) is None):
+        return None
+    hours = int(match.group(1)) if match.group(1) else 0
+    minutes = int(match.group(2)) if match.group(2) else 0
+    return hours * 60 + minutes
+
+
+def concept_key(value: str) -> Optional[str]:
+    """Return a canonical concept key if the value is a known synonym/abbreviation.
+
+    Two values sharing a concept key are redundant representations of the same
+    real-world concept (the class of error in Example 1 of the paper).
+    """
+    if value is None:
+        return None
+    text = str(value).strip().lower()
+    if not text:
+        return None
+    if text in _CONCEPT_INDEX:
+        return _CONCEPT_INDEX[text]
+    duration = parse_duration_minutes(text)
+    if duration is not None:
+        return f"duration:{duration}"
+    # Unit-suffixed quantities, e.g. "12 oz" vs "12 ounce".
+    match = re.match(r"^([\d.]+)\s*([a-z%.]+)$", text)
+    if match:
+        unit = _CONCEPT_INDEX.get(match.group(2).rstrip("."), None)
+        if unit and unit.startswith("unit:"):
+            return f"qty:{match.group(1)}:{unit}"
+    return None

@@ -1,0 +1,41 @@
+"""Disguised-missing-value lexicon.
+
+FAHES-style DMV detection relies on recognising strings that humans use as
+placeholders for "no value": ``"N/A"``, ``"null"``, ``"unknown"``, dashes,
+sentinel numbers.  The paper's DMV operator asks the LLM to spot these; the
+simulated model consults this lexicon instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Set
+
+NULL_WORDS: Set[str] = {
+    "n/a", "na", "n.a.", "n a", "not available", "not applicable", "none",
+    "null", "nil", "nan", "missing", "unknown", "unspecified", "undefined",
+    "-", "--", "---", "?", "??", "???", "empty", "(empty)", "(null)", "(none)",
+    "tbd", "to be determined", "pending", "no data", "no value", "not provided",
+    "not reported", "not recorded", "no information", "xx", "xxx", "xxxx",
+    "9999", "-9999", "99999", "-1",
+}
+
+# Sentinel numbers are only treated as DMVs for identifier-like or measured
+# columns; "-1" as a temperature is real data.  The semantic model applies
+# that context; this set is the raw lexicon.
+SENTINEL_NUMBERS: Set[str] = {"9999", "-9999", "99999", "999", "-1"}
+
+
+def is_disguised_missing(value: Any, strict: bool = False) -> bool:
+    """Return True when ``value`` is a placeholder for a missing value.
+
+    With ``strict=True`` sentinel numbers are excluded, which is appropriate
+    for numeric measurement columns where they may be legitimate data.
+    """
+    if value is None:
+        return False
+    text = str(value).strip().lower()
+    if not text:
+        return True
+    if strict and text in SENTINEL_NUMBERS:
+        return False
+    return text in NULL_WORDS

@@ -1,0 +1,702 @@
+"""The semantic reasoning engine behind the simulated LLM.
+
+This module is the stand-in for the world knowledge and language competence
+of a hosted model.  Every judgement Cocoon delegates to the LLM has a
+corresponding method here:
+
+* grouping redundant representations of one concept ("eng" / "English")
+* spotting typos ("cofffee", "1/1/2000x")
+* recognising disguised missing values ("N/A", "--")
+* suggesting semantic column types ("yes"/"no" is a boolean)
+* reviewing plausible numeric ranges (an age of 851 is impossible)
+* judging whether a statistically strong functional dependency is meaningful
+* proposing corrections for FD violations
+* deciding whether duplicate rows / non-unique key columns are acceptable
+
+The engine is deterministic so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.llm.knowledge.abbreviations import concept_key, parse_duration_minutes
+from repro.llm.knowledge.languages import language_code
+from repro.llm.knowledge.nullwords import is_disguised_missing
+from repro.llm.knowledge.types import (
+    boolean_fraction,
+    expected_numeric_range,
+    looks_like_date_column,
+    looks_like_identifier_column,
+    semantic_boolean,
+)
+from repro.llm.knowledge.vocabulary import DOMAIN_VOCABULARY, words_of
+
+
+# ---------------------------------------------------------------------------
+# small utilities
+# ---------------------------------------------------------------------------
+def edit_distance(a: str, b: str, limit: int = 3) -> int:
+    """Levenshtein distance with an early-exit ``limit``.
+
+    Distances above ``limit`` are reported as ``limit + 1`` (the caller only
+    ever asks "is it within the limit"), which keeps the function symmetric.
+    """
+    if a == b:
+        return 0
+    if abs(len(a) - len(b)) > limit:
+        return limit + 1
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        best = i
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            value = min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            current.append(value)
+            best = min(best, value)
+        if best > limit:
+            return limit + 1
+        previous = current
+    return min(previous[-1], limit + 1)
+
+
+def normalise(value: str) -> str:
+    """Case/punctuation/whitespace-insensitive form used for clustering."""
+    return re.sub(r"[^a-z0-9]+", " ", str(value).lower()).strip()
+
+
+_SHAPE_PIECE_RE = re.compile(r"\d+|[A-Za-z]+|\s+|.")
+
+
+def value_shape(value: str) -> str:
+    """Convert a value to a regex describing its character-class shape.
+
+    ``"12/05/2004"`` → ``\\d{2}/\\d{2}/\\d{4}``; ``"AA-1733"`` →
+    ``[A-Za-z]{2}-\\d{4}``.  This is the "semantically meaningful pattern"
+    induction used for the pattern-outlier operator.
+    """
+    pieces = []
+    for piece in _SHAPE_PIECE_RE.findall(str(value)):
+        if piece.isdigit():
+            pieces.append(rf"\d{{{len(piece)}}}")
+        elif piece.isalpha():
+            pieces.append(rf"[A-Za-z]{{{len(piece)}}}")
+        elif piece.isspace():
+            pieces.append(r"\s")
+        else:
+            pieces.append(re.escape(piece))
+    return "".join(pieces)
+
+
+def loose_value_shape(value: str) -> str:
+    """Like :func:`value_shape` but with unbounded repetitions (``\\d+``)."""
+    pieces = []
+    for piece in _SHAPE_PIECE_RE.findall(str(value)):
+        if piece.isdigit():
+            pieces.append(r"\d+")
+        elif piece.isalpha():
+            pieces.append(r"[A-Za-z]+")
+        elif piece.isspace():
+            pieces.append(r"\s+")
+        else:
+            pieces.append(re.escape(piece))
+    # collapse repeats of the same token
+    out: List[str] = []
+    for piece in pieces:
+        if not out or out[-1] != piece:
+            out.append(piece)
+    return "".join(out)
+
+
+# ---------------------------------------------------------------------------
+# result containers
+# ---------------------------------------------------------------------------
+@dataclass
+class StringReview:
+    unusual: bool
+    reasoning: str
+    summary: str
+    suspects: List[str] = field(default_factory=list)
+
+
+@dataclass
+class TypeSuggestion:
+    suggested_type: str
+    reasoning: str
+    value_mapping: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class RangeReview:
+    has_outliers: bool
+    acceptable_min: Optional[float]
+    acceptable_max: Optional[float]
+    reasoning: str
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+class SemanticModel:
+    """Deterministic semantic judgements over column values."""
+
+    def __init__(self, typo_min_count_ratio: float = 0.5, typo_max_distance: int = 2):
+        self.typo_min_count_ratio = typo_min_count_ratio
+        self.typo_max_distance = typo_max_distance
+
+    # -- string outliers ----------------------------------------------------
+    def cluster_values(self, value_counts: Sequence[Tuple[str, int]]) -> Dict[str, List[Tuple[str, int]]]:
+        """Group values that denote the same real-world concept.
+
+        Clusters are keyed by concept: knowledge-base concepts first
+        (languages, states, units, durations), then normalised string form,
+        then typo proximity to a more frequent value.
+        """
+        clusters: Dict[str, List[Tuple[str, int]]] = defaultdict(list)
+        assigned: Dict[str, str] = {}
+        counts = {v: c for v, c in value_counts}
+        # Pass 1: knowledge-base concepts.
+        for value, count in value_counts:
+            key = None
+            code = language_code(str(value))
+            if code is not None:
+                key = f"lang:{code}"
+            else:
+                concept = concept_key(str(value))
+                if concept is not None:
+                    key = concept
+            if key is not None:
+                clusters[key].append((value, count))
+                assigned[value] = key
+        # Pass 2: normalised form (case / punctuation variants).
+        norm_groups: Dict[str, List[str]] = defaultdict(list)
+        for value, _count in value_counts:
+            if value in assigned:
+                continue
+            norm_groups[normalise(str(value))].append(value)
+        for norm, values in norm_groups.items():
+            if not norm:
+                continue
+            key = f"norm:{norm}"
+            for value in values:
+                clusters[key].append((value, counts[value]))
+                assigned[value] = key
+        # Pass 3: typo proximity — a rare value close to a frequent one joins it.
+        frequent = [(v, c) for v, c in value_counts if c >= 2]
+        for value, count in value_counts:
+            key = assigned.get(value)
+            if key is None:
+                continue
+            if len(clusters[key]) > 1:
+                continue
+            candidate = self._typo_target(str(value), count, frequent, counts)
+            if candidate is not None and candidate != value:
+                target_key = assigned.get(candidate)
+                if target_key is not None and target_key != key:
+                    clusters[target_key].append((value, count))
+                    clusters[key] = [p for p in clusters[key] if p[0] != value]
+                    assigned[value] = target_key
+        return {k: v for k, v in clusters.items() if v}
+
+    def _typo_target(
+        self,
+        value: str,
+        count: int,
+        frequent: Sequence[Tuple[str, int]],
+        counts: Mapping[str, int],
+    ) -> Optional[str]:
+        """Return the frequent value that ``value`` is likely a typo of.
+
+        A rare value is only a typo candidate when it is textual, contains at
+        least one *suspicious* word (a word that neither appears in any
+        frequent value nor in the domain vocabulary — "attakc", "RReview"),
+        and the difference to the frequent value does not involve digits
+        ("Frozen River 2" is a different film than "Frozen River 3", and
+        "149 min" is a different runtime than "183 min", not a typo).
+        """
+        text = str(value)
+        if len(text) < 3:
+            return None
+        # Values that are essentially numeric (times, codes, measurements) are not
+        # plausible typos of one another: "10:31 p.m." is a valid time, not a
+        # misspelling of "10:30 p.m.".
+        letters = re.findall(r"[A-Za-z]{3,}", text)
+        meaningful_letters = [w for w in letters if w.lower() not in ("a", "p", "am", "pm")]
+        if not meaningful_letters:
+            return None
+        attested = set()
+        for other, other_count in frequent:
+            if str(other) == text:
+                continue
+            attested.update(words_of(str(other)))
+        suspicious = [
+            w for w in words_of(text)
+            if len(w) >= 3 and w not in attested and w not in DOMAIN_VOCABULARY
+        ]
+        if not suspicious:
+            return None
+        best: Optional[str] = None
+        best_count = 0
+        for other, other_count in frequent:
+            other_text = str(other)
+            if other_text == text or len(other_text) < 3:
+                continue
+            if other_count * self.typo_min_count_ratio < count:
+                continue
+            # Differences that involve digits denote distinct entities, not typos.
+            has_digits = any(ch.isdigit() for ch in text) or any(ch.isdigit() for ch in other_text)
+            if has_digits and re.sub(r"[^0-9]", "", text) != re.sub(r"[^0-9]", "", other_text):
+                continue
+            max_d = 1 if len(text) <= 5 else self.typo_max_distance
+            if edit_distance(text.lower(), other_text.lower(), max_d) <= max_d:
+                if other_count > best_count:
+                    best, best_count = other, other_count
+        return best
+
+    def _typo_suspects(self, value_counts: Sequence[Tuple[str, int]]) -> Dict[str, str]:
+        """Map suspected typo values to their likely intended values.
+
+        Only *rare* values can be typos: a frequent value is, by definition, a
+        deliberate representation even if it resembles another value.
+        """
+        counts = {v: c for v, c in value_counts}
+        frequent = [(v, c) for v, c in value_counts if c >= 2]
+        total = sum(counts.values())
+        rare_limit = max(2, int(total * 0.01))
+        suspects: Dict[str, str] = {}
+        for value, count in value_counts:
+            if count > rare_limit:
+                continue
+            target = self._typo_target(str(value), count, frequent, counts)
+            if target is not None and counts.get(target, 0) > count:
+                suspects[value] = target
+                continue
+            # Word-level check against the domain vocabulary: "cofffee" → "coffee".
+            fixed = self._fix_vocabulary_typos(str(value))
+            if fixed is not None and fixed != value:
+                suspects[value] = fixed
+        return suspects
+
+    def _fix_vocabulary_typos(self, value: str) -> Optional[str]:
+        words = words_of(value)
+        if not words:
+            return None
+        changed = False
+        fixed_value = str(value)
+        for word in words:
+            if word in DOMAIN_VOCABULARY or len(word) < 4:
+                continue
+            # Plural / singular variants of known words are valid words, not typos.
+            if word.rstrip("s") in DOMAIN_VOCABULARY or word + "s" in DOMAIN_VOCABULARY:
+                continue
+            for known in DOMAIN_VOCABULARY:
+                if abs(len(known) - len(word)) <= 1 and len(known) >= 5:
+                    if edit_distance(word, known, 1) <= 1 and known.rstrip("s") != word.rstrip("s"):
+                        fixed_value = re.sub(re.escape(word), known, fixed_value, flags=re.IGNORECASE)
+                        changed = True
+                        break
+        return fixed_value if changed else None
+
+    def review_string_values(self, column_name: str, value_counts: Sequence[Tuple[str, int]]) -> StringReview:
+        """Figure 2 judgement: are there typos or inconsistent representations?"""
+        clusters = self.cluster_values(value_counts)
+        redundant = {k: v for k, v in clusters.items() if len(v) > 1 and not k.startswith("norm:") or
+                     (k.startswith("norm:") and len(v) > 1)}
+        redundant = {k: v for k, v in redundant.items() if len(v) > 1}
+        suspects = self._typo_suspects(value_counts)
+        issues: List[str] = []
+        for key, members in sorted(redundant.items()):
+            names = ", ".join(f"'{v}'" for v, _ in sorted(members, key=lambda p: -p[1])[:4])
+            issues.append(f"{names} are redundant representations of the same concept")
+        for value, target in sorted(suspects.items()):
+            issues.append(f"'{value}' looks like a typo of '{target}'")
+        unusual = bool(issues)
+        if unusual:
+            summary = f"{len(redundant) + len(suspects)} values are unusual because " + "; ".join(issues[:6])
+            reasoning = (
+                f"The values of {column_name} contain "
+                f"{len(redundant)} groups of inconsistent representations and {len(suspects)} suspected typos."
+            )
+        else:
+            summary = "values look consistent"
+            reasoning = f"The values of {column_name} are consistent representations; they are acceptable."
+        suspect_values = sorted(set(list(suspects.keys()) + [v for m in redundant.values() for v, _ in m]))
+        return StringReview(unusual=unusual, reasoning=reasoning, summary=summary, suspects=suspect_values)
+
+    def map_string_values(
+        self,
+        column_name: str,
+        summary: str,
+        batch_values: Sequence[str],
+        value_counts: Optional[Sequence[Tuple[str, int]]] = None,
+    ) -> Tuple[str, Dict[str, str]]:
+        """Figure 3 judgement: map erroneous values to corrected values."""
+        if value_counts is None:
+            # Without frequency context, assume earlier values are more frequent.
+            value_counts = [(v, len(batch_values) - i) for i, v in enumerate(batch_values)]
+        counts = {v: c for v, c in value_counts}
+        for value in batch_values:
+            counts.setdefault(value, 1)
+        all_counts = sorted(counts.items(), key=lambda p: -p[1])
+        clusters = self.cluster_values(all_counts)
+        mapping: Dict[str, str] = {}
+        batch_set = set(batch_values)
+        for members in clusters.values():
+            if len(members) < 2:
+                continue
+            canonical = self._canonical_member(members)
+            for value, _count in members:
+                if value != canonical and value in batch_set:
+                    mapping[value] = canonical
+        suspects = self._typo_suspects(all_counts)
+        for value, target in suspects.items():
+            if value in batch_set and value not in mapping:
+                mapping[value] = mapping.get(target, target)
+        # Values that are pure noise (no letters/digits) map to empty string.
+        for value in batch_values:
+            if value not in mapping and not re.search(r"[A-Za-z0-9]", str(value)):
+                mapping[value] = ""
+        explanation = (
+            f"The problem is that {column_name} mixes typos and redundant representations. "
+            f"The correct values are the most common representation of each concept."
+        )
+        return explanation, mapping
+
+    @staticmethod
+    def _canonical_member(members: Sequence[Tuple[str, int]]) -> str:
+        """Choose the canonical representation: most frequent, ties break to shortest."""
+        return sorted(members, key=lambda p: (-p[1], len(str(p[0])), str(p[0])))[0][0]
+
+    # -- disguised missing values --------------------------------------------
+    def detect_dmv(self, column_name: str, value_counts: Sequence[Tuple[str, int]]) -> Tuple[str, List[str]]:
+        dmvs = [v for v, _ in value_counts if is_disguised_missing(v)]
+        if dmvs:
+            reasoning = (
+                f"Values {', '.join(repr(v) for v in dmvs[:8])} in {column_name} are placeholders that "
+                "semantically mean the value is missing."
+            )
+        else:
+            reasoning = f"No value of {column_name} is a placeholder for a missing value."
+        return reasoning, dmvs
+
+    # -- column type ------------------------------------------------------------
+    def suggest_type(
+        self,
+        column_name: str,
+        current_type: str,
+        value_counts: Sequence[Tuple[str, int]],
+    ) -> TypeSuggestion:
+        values = [v for v, _ in value_counts if v is not None and str(v).strip() != ""]
+        if not values:
+            return TypeSuggestion(current_type.upper(), "No non-null values to judge; keep the current type.")
+        non_dmv = [v for v in values if not is_disguised_missing(v)]
+        judged = non_dmv or values
+        if looks_like_identifier_column(column_name) and current_type.upper() == "VARCHAR":
+            return TypeSuggestion(
+                "VARCHAR",
+                f"{column_name} is an identifier; codes must stay text to preserve leading zeros.",
+            )
+        frac_bool = boolean_fraction(judged)
+        if frac_bool >= 0.99:
+            mapping = {}
+            for v in judged:
+                interpreted = semantic_boolean(v)
+                if interpreted is not None:
+                    mapping[str(v)] = "True" if interpreted else "False"
+            return TypeSuggestion(
+                "BOOLEAN",
+                f"{column_name} holds yes/no style values which semantically represent a boolean.",
+                mapping,
+            )
+        durations = [parse_duration_minutes(str(v)) for v in judged]
+        duration_hits = sum(1 for d in durations if d is not None)
+        numericish = sum(1 for v in judged if re.fullmatch(r"[+-]?\d+(\.\d+)?", str(v).strip()))
+        if duration_hits / len(judged) >= 0.9 and duration_hits > numericish:
+            mapping = {
+                str(v): str(d)
+                for v, d in zip(judged, durations)
+                if d is not None and str(v).strip() != str(d)
+            }
+            return TypeSuggestion(
+                "DOUBLE",
+                f"{column_name} holds durations expressed in mixed units; represent them as minutes.",
+                mapping,
+            )
+        ints = sum(1 for v in judged if re.fullmatch(r"[+-]?\d+", str(v).strip()))
+        floats = sum(1 for v in judged if re.fullmatch(r"[+-]?\d*\.\d+", str(v).strip()))
+        if (ints + floats) / len(judged) >= 0.99:
+            if floats:
+                return TypeSuggestion("DOUBLE", f"All values of {column_name} are numeric with decimals.")
+            if looks_like_identifier_column(column_name):
+                return TypeSuggestion("VARCHAR", f"{column_name} is a numeric code, not a quantity; keep it text.")
+            return TypeSuggestion("INTEGER", f"All values of {column_name} are integers.")
+        from repro.dataframe.schema import parse_date
+
+        dates = sum(1 for v in judged if parse_date(str(v)) is not None)
+        if dates / len(judged) >= 0.95 or (looks_like_date_column(column_name) and dates / len(judged) >= 0.8):
+            return TypeSuggestion("DATE", f"{column_name} holds calendar dates.")
+        return TypeSuggestion(
+            current_type.upper(),
+            f"The values of {column_name} are heterogeneous text; the current type is already suitable.",
+        )
+
+    # -- numeric outliers -----------------------------------------------------------
+    def review_numeric_range(
+        self,
+        column_name: str,
+        dtype: str,
+        minimum: Optional[float],
+        maximum: Optional[float],
+        mean: Optional[float],
+    ) -> RangeReview:
+        bounds = expected_numeric_range(column_name)
+        if bounds is None or minimum is None or maximum is None:
+            return RangeReview(
+                False, None, None,
+                f"No real-world range is known for {column_name}; the observed range is accepted.",
+            )
+        low, high = bounds
+        has_outliers = minimum < low or maximum > high
+        reasoning = (
+            f"{column_name} should fall within [{low}, {high}] in the real world; "
+            f"the data ranges over [{minimum}, {maximum}]."
+        )
+        return RangeReview(has_outliers, low, high, reasoning)
+
+    # -- pattern outliers ---------------------------------------------------------------
+    def generate_patterns(self, column_name: str, value_counts: Sequence[Tuple[str, int]]) -> Tuple[str, List[str]]:
+        shapes = Counter()
+        for value, count in value_counts:
+            if value is None or str(value).strip() == "":
+                continue
+            shapes[value_shape(str(value))] += count
+        patterns = [p for p, _ in shapes.most_common(8)]
+        reasoning = f"The values of {column_name} follow {len(patterns)} structural patterns."
+        return reasoning, patterns
+
+    def judge_pattern_consistency(
+        self, column_name: str, pattern_counts: Sequence[Tuple[str, int]]
+    ) -> Tuple[str, bool, Optional[str]]:
+        meaningful = [(p, c) for p, c in pattern_counts if p and p != ".*" and c > 0]
+        if len(meaningful) <= 1:
+            return (
+                f"All values of {column_name} share a single structural pattern.",
+                False,
+                meaningful[0][0] if meaningful else None,
+            )
+        # Patterns that differ only in repetition counts (e.g. \d{1} vs \d{2})
+        # describe one concept with naturally variable length — identifiers,
+        # counts, names — and are not inconsistent representations.
+        loose_forms = {re.sub(r"\{\d+(,\d+)?\}", "+", p) for p, _ in meaningful}
+        if len(loose_forms) == 1:
+            return (
+                f"The patterns of {column_name} differ only in length; they represent one concept consistently.",
+                False,
+                max(meaningful, key=lambda p: p[1])[0],
+            )
+        total = sum(c for _, c in meaningful)
+        standard, standard_count = max(meaningful, key=lambda p: p[1])
+        # Inconsistent only when one clearly dominant pattern exists and the others
+        # are minority variants of the same concept (e.g. a second date format).
+        inconsistent = standard_count / total >= 0.8
+        reasoning = (
+            f"{column_name} mixes {len(meaningful)} structural patterns; the dominant pattern covers "
+            f"{standard_count}/{total} values."
+        )
+        return reasoning, inconsistent, standard
+
+    def normalise_to_pattern(self, value: str, standard_pattern: str) -> Optional[str]:
+        """Rewrite ``value`` to match the standard pattern when a safe rewrite exists.
+
+        Handles the common date-format and zero-padding rewrites; returns None
+        when no semantics-preserving rewrite is known.
+        """
+        text = str(value).strip()
+        if re.fullmatch(standard_pattern, text):
+            return text
+        date_like = re.fullmatch(r"(\d{1,4})([/-])(\d{1,2})\2(\d{1,4})", text)
+        if date_like:
+            a, sep, b, c = date_like.group(1), date_like.group(2), date_like.group(3), date_like.group(4)
+            candidates = []
+            if len(a) == 4:  # yyyy-mm-dd → mm/dd/yyyy or keep
+                candidates.extend([f"{b.zfill(2)}/{c.zfill(2)}/{a}", f"{a}-{b.zfill(2)}-{c.zfill(2)}"])
+            else:  # mm/dd/yyyy → yyyy-mm-dd or zero-pad
+                candidates.extend([f"{c}-{a.zfill(2)}-{b.zfill(2)}", f"{a.zfill(2)}/{b.zfill(2)}/{c}"])
+            for candidate in candidates:
+                if re.fullmatch(standard_pattern, candidate):
+                    return candidate
+        # Strip stray characters that keep the value from matching, e.g. '1/1/2000x'.
+        stripped = re.sub(r"[^0-9A-Za-z/.:\- ]", "", text).strip()
+        if stripped != text and re.fullmatch(standard_pattern, stripped):
+            return stripped
+        if "[A-Za-z]" not in standard_pattern:
+            # The standard shape has no letters, so stray letters are noise.
+            digits_only = re.sub(r"[A-Za-z]", "", text).strip()
+            if digits_only != text and re.fullmatch(standard_pattern, digits_only):
+                return digits_only
+        return None
+
+    # -- functional dependencies -------------------------------------------------------
+    # Column-name vocabulary used to judge whether an FD is meaningful in the
+    # real world — the role world knowledge plays for a hosted model.
+    _CATEGORY_WORDS = {
+        "city", "state", "country", "county", "region", "language", "genre", "style",
+        "type", "condition", "owner", "gender", "color", "colour", "status", "category",
+        "class", "source", "emergency",
+    }
+    _MEASURE_WORDS = {
+        "score", "avg", "average", "abv", "ibu", "sample", "votes", "count", "rating",
+        "price", "salary", "weight", "height", "duration", "runtime", "pagination",
+        "pages", "volume", "issue", "vol", "amount", "total", "review",
+    }
+    _TEMPORAL_WORDS = {"time", "date", "year", "created", "updated", "timestamp", "dob"}
+
+    @classmethod
+    def _column_category(cls, column: str) -> str:
+        tokens = set(re.split(r"[^a-z]+", column.lower())) | {column.lower()}
+        lowered = column.lower()
+        # Abbreviated column names ("article_jvolumn", "jissue") still contain the
+        # measure word as a substring, so fall back to substring matching.
+        if any(t in cls._MEASURE_WORDS for t in tokens) or any(
+            word in lowered for word in ("volume", "vol", "issue", "pagination", "score", "rating", "count")
+        ):
+            return "measure"
+        if any(t in cls._TEMPORAL_WORDS for t in tokens) or "time" in lowered or "date" in lowered:
+            return "temporal"
+        if looks_like_identifier_column(column) or lowered.endswith("issn"):
+            return "identifier"
+        if any(t in cls._CATEGORY_WORDS for t in tokens):
+            return "category"
+        if "name" in lowered or "title" in lowered:
+            return "name"
+        return "entity"
+
+    def judge_fd(
+        self,
+        determinant: str,
+        dependent: str,
+        entropy_score: float,
+        violation_examples: Sequence[Tuple[str, Sequence[Tuple[str, int]]]],
+    ) -> Tuple[str, bool]:
+        """Is the statistically strong FD meaningful in the real world?
+
+        A dependency is meaningful when the determinant identifies an entity
+        (a provider number, a measure code, a brewery, a journal, a flight)
+        and the dependent is an attribute of that entity.  It is rejected
+        when the determinant is a broad category (a city does not determine a
+        brewery), when the dependent is a per-record measurement (a score, an
+        ABV), or when the dependent records a measured event — the Flights
+        ``flight → actual arrival time`` case the paper discusses.
+        """
+        dep = dependent.lower()
+        det = determinant.lower()
+        if det == dep:
+            return ("A column trivially determines itself; not meaningful for cleaning.", False)
+        if any(word in dep for word in ("actual", "observed", "measured")):
+            return (
+                f"{dependent} records a measured event; inconsistent measurements for one {determinant} "
+                "reflect application uncertainty, not redundancy, so the dependency is not meaningful.",
+                False,
+            )
+        det_category = self._column_category(determinant)
+        dep_category = self._column_category(dependent)
+        if det_category in ("category", "measure", "temporal"):
+            return (
+                f"{determinant} is a broad {det_category} attribute; many different records can share one "
+                f"{determinant} value, so it does not determine {dependent} in the real world.",
+                False,
+            )
+        if dep_category == "measure":
+            return (
+                f"{dependent} is a per-record measurement; records sharing one {determinant} can legitimately "
+                "have different values, so the dependency is not meaningful.",
+                False,
+            )
+        return (
+            f"{determinant} identifies an entity and {dependent} is an attribute of it; in the real world each "
+            f"{determinant} corresponds to a single {dependent}, so violations are errors.",
+            True,
+        )
+
+    def correct_fd(
+        self,
+        determinant: str,
+        dependent: str,
+        violation_groups: Sequence[Tuple[str, Sequence[Tuple[str, int]]]],
+    ) -> Tuple[str, Dict[str, str]]:
+        """For each violating determinant value, choose the correct dependent value."""
+        mapping: Dict[str, str] = {}
+        for lhs, rhs_counts in violation_groups:
+            if not rhs_counts:
+                continue
+            candidates = sorted(rhs_counts, key=lambda p: (-p[1], len(str(p[0])), str(p[0])))
+            # Prefer a candidate that is not a suspected typo of another candidate.
+            best = candidates[0][0]
+            counts = list(rhs_counts)
+            suspects = self._typo_suspects(counts)
+            while best in suspects and suspects[best] != best:
+                best = suspects[best]
+            mapping[str(lhs)] = str(best)
+        explanation = (
+            f"The correct values are the consensus {dependent} for each {determinant}; "
+            "rare conflicting values are recording errors."
+        )
+        return explanation, mapping
+
+    # -- duplication ----------------------------------------------------------------------
+    def judge_duplicates(
+        self, table_name: str, duplicate_count: int, sample_rows: Sequence[Mapping[str, Any]]
+    ) -> Tuple[str, bool]:
+        lowered = table_name.lower()
+        if any(token in lowered for token in ("log", "event", "sensor", "reading")):
+            return (
+                f"{table_name} is an append-only log; identical rows can legitimately repeat "
+                "at coarse time granularity.",
+                False,
+            )
+        columns = list(sample_rows[0].keys()) if sample_rows else []
+        has_timestamp = any("time" in c.lower() or "date" in c.lower() for c in columns)
+        has_id = any(looks_like_identifier_column(c) for c in columns)
+        if has_id or not has_timestamp:
+            return (
+                f"Rows of {table_name} describe distinct entities; fully duplicated rows are erroneous.",
+                True,
+            )
+        return (
+            f"{table_name} rows repeat measurements over time; duplicates are suspicious but kept erroneous "
+            "only because exact duplication of every field is unlikely.",
+            True,
+        )
+
+    # -- column uniqueness ----------------------------------------------------------------
+    def judge_uniqueness(
+        self,
+        column_name: str,
+        unique_ratio: float,
+        dtype: str,
+        candidate_order_columns: Sequence[str],
+    ) -> Tuple[str, bool, Optional[str]]:
+        identifier = looks_like_identifier_column(column_name)
+        should_be_unique = identifier and unique_ratio >= 0.95
+        order_column = None
+        if should_be_unique:
+            for candidate in candidate_order_columns:
+                lowered = candidate.lower()
+                if "time" in lowered or "date" in lowered or "updated" in lowered:
+                    order_column = candidate
+                    break
+        if should_be_unique:
+            reasoning = (
+                f"{column_name} is an identifier with unique ratio {unique_ratio:.3f}; it should be unique, "
+                + (f"keeping the latest record by {order_column}." if order_column else "keeping the first record.")
+            )
+        else:
+            reasoning = (
+                f"{column_name} is not a key column (unique ratio {unique_ratio:.3f}); "
+                "repeated values are expected."
+            )
+        return reasoning, should_be_unique, order_column

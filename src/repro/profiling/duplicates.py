@@ -1,0 +1,35 @@
+"""Duplicate-row statistics (statistical detection for §2.1.7)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, List, Tuple
+
+from repro.dataframe.schema import is_null
+from repro.dataframe.table import Table
+
+
+def _row_key(row: Tuple[Any, ...]) -> Tuple[str, ...]:
+    return tuple("\0null" if is_null(v) else str(v) for v in row)
+
+
+def duplicate_row_count(table: Table) -> int:
+    """Number of rows that are exact duplicates of an earlier row."""
+    counts = Counter(_row_key(row) for row in table.row_tuples())
+    return sum(count - 1 for count in counts.values() if count > 1)
+
+
+def duplicate_row_samples(table: Table, limit: int = 3) -> List[Dict[str, Any]]:
+    """Up to ``limit`` sample rows that appear more than once."""
+    counts = Counter(_row_key(row) for row in table.row_tuples())
+    duplicated = {key for key, count in counts.items() if count > 1}
+    samples: List[Dict[str, Any]] = []
+    seen = set()
+    for i, row in enumerate(table.row_tuples()):
+        key = _row_key(row)
+        if key in duplicated and key not in seen:
+            samples.append(table.row(i))
+            seen.add(key)
+            if len(samples) >= limit:
+                break
+    return samples

@@ -1,0 +1,72 @@
+"""Structural pattern statistics used by the pattern-outlier operator.
+
+The operator asks the LLM for candidate regular expressions and then
+*verifies them with SQL*; these helpers implement that verification:
+how many values match each pattern, and which values match none.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dataframe.schema import is_null
+
+
+def pattern_counts(values: Sequence[object], patterns: Sequence[str]) -> List[Tuple[str, int]]:
+    """Count how many non-null values fully match each pattern (first match wins)."""
+    compiled = []
+    for pattern in patterns:
+        try:
+            compiled.append((pattern, re.compile(pattern)))
+        except re.error:
+            continue
+    counts: Counter = Counter()
+    for value in values:
+        if is_null(value) or str(value).strip() == "":
+            continue
+        text = str(value)
+        for pattern, regex in compiled:
+            if regex.fullmatch(text):
+                counts[pattern] += 1
+                break
+    return [(pattern, counts.get(pattern, 0)) for pattern, _ in compiled]
+
+
+def match_fraction(values: Sequence[object], patterns: Sequence[str]) -> float:
+    """Fraction of non-null values matching at least one pattern."""
+    compiled = []
+    for pattern in patterns:
+        try:
+            compiled.append(re.compile(pattern))
+        except re.error:
+            continue
+    total = 0
+    matched = 0
+    for value in values:
+        if is_null(value) or str(value).strip() == "":
+            continue
+        total += 1
+        text = str(value)
+        if any(regex.fullmatch(text) for regex in compiled):
+            matched += 1
+    return matched / total if total else 1.0
+
+
+def non_matching_values(values: Sequence[object], pattern: str) -> List[str]:
+    """Distinct non-null values that do not match ``pattern``."""
+    try:
+        regex = re.compile(pattern)
+    except re.error:
+        return []
+    out: List[str] = []
+    seen = set()
+    for value in values:
+        if is_null(value) or str(value).strip() == "":
+            continue
+        text = str(value)
+        if regex.fullmatch(text) is None and text not in seen:
+            seen.add(text)
+            out.append(text)
+    return out

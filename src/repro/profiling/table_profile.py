@@ -1,0 +1,69 @@
+"""Whole-table profile combining column profiles, FDs and duplicate stats."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.dataframe.table import Table
+from repro.profiling.column_profile import ColumnProfile, profile_column
+from repro.profiling.duplicates import duplicate_row_count, duplicate_row_samples
+from repro.profiling.fd import FDCandidate, discover_fds
+
+
+@dataclass
+class TableProfile:
+    """Statistical summary of a table: the context Cocoon gives to the LLM."""
+
+    table_name: str
+    row_count: int
+    column_profiles: Dict[str, ColumnProfile] = field(default_factory=dict)
+    fd_candidates: List[FDCandidate] = field(default_factory=list)
+    duplicate_rows: int = 0
+    duplicate_samples: List[dict] = field(default_factory=list)
+
+    def column(self, name: str) -> ColumnProfile:
+        return self.column_profiles[name]
+
+    @property
+    def column_names(self) -> List[str]:
+        return list(self.column_profiles.keys())
+
+    def summary_text(self) -> str:
+        """Human-readable profile summary (used in reports and examples)."""
+        lines = [f"Table {self.table_name}: {self.row_count} rows, {len(self.column_profiles)} columns"]
+        for profile in self.column_profiles.values():
+            lines.append(
+                f"  - {profile.name} ({profile.dtype}): {profile.distinct_count} distinct, "
+                f"{profile.null_fraction:.1%} null, unique ratio {profile.unique_ratio:.2f}"
+            )
+        if self.fd_candidates:
+            lines.append("  Functional dependency candidates:")
+            for fd in self.fd_candidates[:10]:
+                lines.append(f"    * {fd}")
+        lines.append(f"  Duplicate rows: {self.duplicate_rows}")
+        return "\n".join(lines)
+
+
+def profile_table(
+    table: Table,
+    max_values_per_column: int = 1000,
+    fd_min_score: float = 0.9,
+    discover_dependencies: bool = True,
+) -> TableProfile:
+    """Profile every column, discover FD candidates and count duplicates."""
+    column_profiles = {
+        column.name: profile_column(column, max_values=max_values_per_column)
+        for column in table.columns
+    }
+    fd_candidates: List[FDCandidate] = []
+    if discover_dependencies and table.num_rows > 0:
+        fd_candidates = discover_fds(table, min_score=fd_min_score)
+    return TableProfile(
+        table_name=table.name,
+        row_count=table.num_rows,
+        column_profiles=column_profiles,
+        fd_candidates=fd_candidates,
+        duplicate_rows=duplicate_row_count(table),
+        duplicate_samples=duplicate_row_samples(table),
+    )

@@ -1,0 +1,25 @@
+"""A miniature in-memory SQL engine.
+
+The paper's system executes all of its error detection and cleaning through
+SQL against a database (DuckDB in the authors' experiments) so the result is
+"scalable, interpretable, and reusable".  This package is the reproduction's
+database substrate: a from-scratch SQL engine covering the surface that the
+Cocoon pipeline emits and the profiler issues —
+
+* ``SELECT`` lists with arbitrary expressions, aliases and ``DISTINCT``
+* ``CASE WHEN … THEN … ELSE … END``
+* ``CAST(expr AS type)``
+* scalar functions (``UPPER``/``LOWER``/``TRIM``/``REGEXP_MATCHES``/
+  ``REGEXP_REPLACE``/``COALESCE``/``NULLIF`` …)
+* aggregates with ``GROUP BY`` / ``HAVING``
+* window function ``ROW_NUMBER() OVER (PARTITION BY … ORDER BY …)``
+* ``WHERE``, ``ORDER BY``, ``LIMIT``, derived tables in ``FROM``
+* ``CREATE [OR REPLACE] TABLE/VIEW … AS SELECT`` and ``DROP TABLE``
+
+The entry point is :class:`repro.sql.database.Database`.
+"""
+
+from repro.sql.errors import SQLError, ParseError, ExecutionError, CatalogError
+from repro.sql.database import Database
+
+__all__ = ["Database", "SQLError", "ParseError", "ExecutionError", "CatalogError"]

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the mini SQL engine."""
+
+
+class SQLError(Exception):
+    """Base class for all SQL engine errors."""
+
+
+class ParseError(SQLError):
+    """Raised when a SQL string cannot be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int = -1, sql: str = ""):
+        self.position = position
+        self.sql = sql
+        if position >= 0 and sql:
+            context = sql[max(0, position - 20): position + 20]
+            message = f"{message} (near position {position}: ...{context}...)"
+        super().__init__(message)
+
+
+class CatalogError(SQLError):
+    """Raised for missing or duplicate tables/columns in the catalog."""
+
+
+class ExecutionError(SQLError):
+    """Raised when a parsed query cannot be evaluated."""

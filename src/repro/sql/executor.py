@@ -1,0 +1,681 @@
+"""Query executor: evaluates parsed statements against the catalog."""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.dataframe.column import Column
+from repro.dataframe.schema import ColumnType, coerce_value, is_null
+from repro.dataframe.table import Table
+from repro.sql.ast_nodes import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    Cast,
+    ColumnRef,
+    CreateTableAs,
+    DropTable,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    Join,
+    Literal,
+    OrderItem,
+    Select,
+    SelectItem,
+    Star,
+    Statement,
+    TableRef,
+    UnaryOp,
+    WindowFunction,
+)
+from repro.sql.catalog import Catalog
+from repro.sql.errors import ExecutionError
+from repro.sql.functions import AGGREGATE_NAMES, call_scalar, make_aggregate
+
+Row = Dict[str, Any]
+
+
+class Executor:
+    """Evaluates statements produced by :mod:`repro.sql.parser`."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    # -- public API -----------------------------------------------------------
+    def execute(self, statement: Statement) -> Optional[Table]:
+        if isinstance(statement, Select):
+            return self._execute_select(statement, result_name="result")
+        if isinstance(statement, CreateTableAs):
+            table = self._execute_select(statement.query, result_name=statement.name)
+            self.catalog.register(table, replace=statement.or_replace)
+            return table
+        if isinstance(statement, DropTable):
+            self.catalog.drop(statement.name, if_exists=statement.if_exists)
+            return None
+        raise ExecutionError(f"Unsupported statement type: {type(statement).__name__}")
+
+    # -- SELECT pipeline --------------------------------------------------------
+    def _execute_select(self, select: Select, result_name: str) -> Table:
+        rows, source_columns = self._resolve_from(select)
+        if select.where is not None:
+            rows = [r for r in rows if _truthy(self._eval(select.where, r))]
+
+        has_group = bool(select.group_by)
+        has_aggregate = any(_contains_aggregate(item.expression) for item in select.items) or (
+            select.having is not None and _contains_aggregate(select.having)
+        )
+
+        source_rows: Optional[List[Row]] = None
+        if has_group or has_aggregate:
+            out_names, out_rows = self._execute_grouped(select, rows)
+        else:
+            window_values = self._compute_windows(select, rows)
+            out_names, out_rows = self._project(select, rows, window_values, source_columns)
+            source_rows = list(rows)
+            if select.qualify is not None:
+                keep = []
+                for i, row in enumerate(rows):
+                    value = self._eval(select.qualify, row, window_values=window_values, row_index=i)
+                    if _truthy(value):
+                        keep.append(i)
+                out_rows = [out_rows[i] for i in keep]
+                source_rows = [source_rows[i] for i in keep]
+
+        if select.distinct:
+            source_rows = None
+            seen = set()
+            deduped = []
+            for row in out_rows:
+                key = tuple("\0null" if is_null(v) else str(v) for v in row)
+                if key in seen:
+                    continue
+                seen.add(key)
+                deduped.append(row)
+            out_rows = deduped
+
+        if select.order_by:
+            out_rows = self._order_output(select, out_names, out_rows, source_rows)
+
+        if select.offset is not None:
+            out_rows = out_rows[select.offset:]
+        if select.limit is not None:
+            out_rows = out_rows[: select.limit]
+
+        return Table.from_rows(result_name, out_names, out_rows)
+
+    # -- FROM / JOIN ------------------------------------------------------------
+    def _resolve_from(self, select: Select) -> Tuple[List[Row], List[str]]:
+        if select.from_table is None:
+            # SELECT without FROM evaluates expressions once against an empty row.
+            return [{}], []
+        rows, columns = self._table_rows(select.from_table)
+        for join in select.joins:
+            rows, columns = self._apply_join(rows, columns, join)
+        return rows, columns
+
+    def _table_rows(self, ref: TableRef) -> Tuple[List[Row], List[str]]:
+        if ref.subquery is not None:
+            table = self._execute_select(ref.subquery, result_name=ref.alias or "subquery")
+        else:
+            table = self.catalog.get(ref.name)
+        alias = ref.alias or (ref.name if ref.name else table.name)
+        rows: List[Row] = []
+        for i in range(table.num_rows):
+            row: Row = {}
+            for col in table.columns:
+                row[col.name] = col[i]
+                row[f"{alias}.{col.name}"] = col[i]
+            rows.append(row)
+        return rows, list(table.column_names)
+
+    def _apply_join(self, left_rows: List[Row], left_columns: List[str], join: Join) -> Tuple[List[Row], List[str]]:
+        right_rows, right_columns = self._table_rows(join.table)
+        out: List[Row] = []
+        for lrow in left_rows:
+            matched = False
+            for rrow in right_rows:
+                merged = dict(lrow)
+                for key, value in rrow.items():
+                    if key not in merged or "." in key:
+                        merged[key] = value
+                if _truthy(self._eval(join.condition, merged)):
+                    matched = True
+                    out.append(merged)
+            if not matched and join.kind == "LEFT":
+                merged = dict(lrow)
+                for key in right_rows[0].keys() if right_rows else []:
+                    merged.setdefault(key, None)
+                out.append(merged)
+        columns = left_columns + [c for c in right_columns if c not in left_columns]
+        return out, columns
+
+    # -- projection ---------------------------------------------------------------
+    def _project(
+        self,
+        select: Select,
+        rows: List[Row],
+        window_values: Dict[int, List[Any]],
+        source_columns: List[str],
+    ) -> Tuple[List[str], List[List[Any]]]:
+        names = self._output_names(select, source_columns)
+        out_rows: List[List[Any]] = []
+        for i, row in enumerate(rows):
+            out_row: List[Any] = []
+            for item in select.items:
+                if isinstance(item.expression, Star):
+                    out_row.extend(row.get(c) for c in source_columns)
+                else:
+                    out_row.append(self._eval(item.expression, row, window_values=window_values, row_index=i))
+            out_rows.append(out_row)
+        return names, out_rows
+
+    def _output_names(self, select: Select, source_columns: List[str]) -> List[str]:
+        names: List[str] = []
+        for item in select.items:
+            if isinstance(item.expression, Star):
+                names.extend(source_columns)
+                continue
+            if item.alias:
+                names.append(item.alias)
+            elif isinstance(item.expression, ColumnRef):
+                names.append(item.expression.name)
+            else:
+                names.append(_expression_label(item.expression, len(names)))
+        # De-duplicate while preserving order (SQL allows duplicate output names; Table does not).
+        seen: Dict[str, int] = {}
+        unique: List[str] = []
+        for name in names:
+            if name in seen:
+                seen[name] += 1
+                unique.append(f"{name}_{seen[name]}")
+            else:
+                seen[name] = 0
+                unique.append(name)
+        return unique
+
+    # -- grouping -------------------------------------------------------------------
+    def _execute_grouped(self, select: Select, rows: List[Row]) -> Tuple[List[str], List[List[Any]]]:
+        groups: Dict[Tuple, List[Row]] = {}
+        order: List[Tuple] = []
+        if select.group_by:
+            for row in rows:
+                key = tuple(_hashable(self._eval(e, row)) for e in select.group_by)
+                if key not in groups:
+                    groups[key] = []
+                    order.append(key)
+                groups[key].append(row)
+        else:
+            key = ()
+            groups[key] = list(rows)
+            order.append(key)
+
+        names = self._output_names(select, source_columns=[])
+        out_rows: List[List[Any]] = []
+        for key in order:
+            group_rows = groups[key]
+            if select.having is not None:
+                having_value = self._eval_aggregate_expr(select.having, group_rows)
+                if not _truthy(having_value):
+                    continue
+            out_row = [self._eval_aggregate_expr(item.expression, group_rows) for item in select.items]
+            out_rows.append(out_row)
+        return names, out_rows
+
+    def _eval_aggregate_expr(self, expr: Expression, group_rows: List[Row]) -> Any:
+        if isinstance(expr, FunctionCall) and expr.name in AGGREGATE_NAMES:
+            count_star = len(expr.args) == 1 and isinstance(expr.args[0], Star)
+            separator = ","
+            if expr.name in ("STRING_AGG", "GROUP_CONCAT") and len(expr.args) > 1:
+                sep_expr = expr.args[1]
+                if isinstance(sep_expr, Literal):
+                    separator = str(sep_expr.value)
+            agg = make_aggregate(expr.name, distinct=expr.distinct, count_star=count_star, separator=separator)
+            for row in group_rows:
+                if count_star:
+                    agg.add(1)
+                else:
+                    agg.add(self._eval(expr.args[0], row))
+            return agg.result()
+        if isinstance(expr, BinaryOp):
+            return _apply_binary(
+                expr.op,
+                self._eval_aggregate_expr(expr.left, group_rows),
+                self._eval_aggregate_expr(expr.right, group_rows),
+            )
+        if isinstance(expr, UnaryOp):
+            return _apply_unary(expr.op, self._eval_aggregate_expr(expr.operand, group_rows))
+        if isinstance(expr, Cast):
+            return coerce_value(self._eval_aggregate_expr(expr.operand, group_rows), expr.target)
+        if isinstance(expr, FunctionCall):
+            args = [self._eval_aggregate_expr(a, group_rows) for a in expr.args]
+            return call_scalar(expr.name, args)
+        if isinstance(expr, CaseWhen):
+            return self._eval_case(expr, group_rows[0] if group_rows else {}, None, None)
+        # Non-aggregate expression inside a grouped query: evaluate on the first
+        # row of the group (it is a grouping expression, so constant per group).
+        row = group_rows[0] if group_rows else {}
+        return self._eval(expr, row)
+
+    # -- window functions ---------------------------------------------------------------
+    def _compute_windows(self, select: Select, rows: List[Row]) -> Dict[int, List[Any]]:
+        window_nodes: List[WindowFunction] = []
+        for item in select.items:
+            _collect_windows(item.expression, window_nodes)
+        if select.qualify is not None:
+            _collect_windows(select.qualify, window_nodes)
+        values: Dict[int, List[Any]] = {}
+        for node in window_nodes:
+            values[id(node)] = self._evaluate_window(node, rows)
+        return values
+
+    def _evaluate_window(self, node: WindowFunction, rows: List[Row]) -> List[Any]:
+        n = len(rows)
+        partitions: Dict[Tuple, List[int]] = {}
+        for i, row in enumerate(rows):
+            key = tuple(_hashable(self._eval(e, row)) for e in node.window.partition_by)
+            partitions.setdefault(key, []).append(i)
+        result: List[Any] = [None] * n
+        for indices in partitions.values():
+            ordered = indices
+            if node.window.order_by:
+                ordered = sorted(
+                    indices,
+                    key=lambda i: tuple(
+                        _sort_key(self._eval(item.expression, rows[i]), item.descending)
+                        for item in node.window.order_by
+                    ),
+                )
+            name = node.name.upper()
+            if name == "ROW_NUMBER":
+                for rank, i in enumerate(ordered, start=1):
+                    result[i] = rank
+            elif name in ("RANK", "DENSE_RANK"):
+                prev_key = object()
+                rank = 0
+                dense = 0
+                for position, i in enumerate(ordered, start=1):
+                    key = tuple(self._eval(item.expression, rows[i]) for item in node.window.order_by)
+                    if key != prev_key:
+                        dense += 1
+                        rank = position
+                        prev_key = key
+                    result[i] = rank if name == "RANK" else dense
+            elif name in ("COUNT", "SUM", "MIN", "MAX", "AVG"):
+                agg = make_aggregate(name, count_star=(len(node.args) == 1 and isinstance(node.args[0], Star)) or not node.args)
+                for i in ordered:
+                    if node.args and not isinstance(node.args[0], Star):
+                        agg.add(self._eval(node.args[0], rows[i]))
+                    else:
+                        agg.add(1)
+                total = agg.result()
+                for i in ordered:
+                    result[i] = total
+            else:
+                raise ExecutionError(f"Unsupported window function: {node.name}")
+        return result
+
+    # -- ORDER BY on output ----------------------------------------------------------------
+    def _order_output(
+        self,
+        select: Select,
+        names: List[str],
+        out_rows: List[List[Any]],
+        source_rows: Optional[List[Row]] = None,
+    ) -> List[List[Any]]:
+        name_index = {name: i for i, name in enumerate(names)}
+
+        def key(position: int) -> Tuple:
+            row = out_rows[position]
+            parts = []
+            for item in select.order_by:
+                expr = item.expression
+                if isinstance(expr, ColumnRef) and expr.name in name_index:
+                    value = row[name_index[expr.name]]
+                elif isinstance(expr, Literal) and isinstance(expr.value, int):
+                    value = row[expr.value - 1]
+                elif source_rows is not None:
+                    # ORDER BY may reference source columns that were not projected.
+                    value = self._eval(expr, source_rows[position])
+                else:
+                    value = self._eval(expr, dict(zip(names, row)))
+                parts.append(_sort_key(value, item.descending))
+            return tuple(parts)
+
+        order = sorted(range(len(out_rows)), key=key)
+        return [out_rows[i] for i in order]
+
+    # -- expression evaluation ----------------------------------------------------------------
+    def _eval(
+        self,
+        expr: Expression,
+        row: Row,
+        window_values: Optional[Dict[int, List[Any]]] = None,
+        row_index: Optional[int] = None,
+    ) -> Any:
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, ColumnRef):
+            key = expr.qualified if expr.table else expr.name
+            if key in row:
+                return row[key]
+            if expr.name in row:
+                return row[expr.name]
+            raise ExecutionError(f"Unknown column {key!r}; available: {sorted(k for k in row if '.' not in k)}")
+        if isinstance(expr, Star):
+            raise ExecutionError("'*' is only valid in a select list or COUNT(*)")
+        if isinstance(expr, UnaryOp):
+            return _apply_unary(expr.op, self._eval(expr.operand, row, window_values, row_index))
+        if isinstance(expr, BinaryOp):
+            if expr.op == "AND":
+                left = self._eval(expr.left, row, window_values, row_index)
+                if left is False:
+                    return False
+                right = self._eval(expr.right, row, window_values, row_index)
+                if right is False:
+                    return False
+                if is_null(left) or is_null(right):
+                    return None
+                return _truthy(left) and _truthy(right)
+            if expr.op == "OR":
+                left = self._eval(expr.left, row, window_values, row_index)
+                if _truthy(left):
+                    return True
+                right = self._eval(expr.right, row, window_values, row_index)
+                if _truthy(right):
+                    return True
+                if is_null(left) or is_null(right):
+                    return None
+                return False
+            left = self._eval(expr.left, row, window_values, row_index)
+            right = self._eval(expr.right, row, window_values, row_index)
+            return _apply_binary(expr.op, left, right)
+        if isinstance(expr, IsNull):
+            value = self._eval(expr.operand, row, window_values, row_index)
+            return (not is_null(value)) if expr.negated else is_null(value)
+        if isinstance(expr, InList):
+            value = self._eval(expr.operand, row, window_values, row_index)
+            if is_null(value):
+                return None
+            items = [self._eval(i, row, window_values, row_index) for i in expr.items]
+            found = any((not is_null(i)) and _sql_equal(value, i) for i in items)
+            return (not found) if expr.negated else found
+        if isinstance(expr, Between):
+            value = self._eval(expr.operand, row, window_values, row_index)
+            low = self._eval(expr.low, row, window_values, row_index)
+            high = self._eval(expr.high, row, window_values, row_index)
+            if is_null(value) or is_null(low) or is_null(high):
+                return None
+            inside = low <= value <= high
+            return (not inside) if expr.negated else inside
+        if isinstance(expr, CaseWhen):
+            return self._eval_case(expr, row, window_values, row_index)
+        if isinstance(expr, Cast):
+            return coerce_value(self._eval(expr.operand, row, window_values, row_index), expr.target)
+        if isinstance(expr, WindowFunction):
+            if window_values is None or row_index is None or id(expr) not in window_values:
+                raise ExecutionError("Window function used outside of a windowed context")
+            return window_values[id(expr)][row_index]
+        if isinstance(expr, FunctionCall):
+            if expr.name in AGGREGATE_NAMES and expr.name not in ("MIN", "MAX"):
+                raise ExecutionError(f"Aggregate {expr.name} used outside GROUP BY context")
+            args = [self._eval(a, row, window_values, row_index) for a in expr.args]
+            return call_scalar(expr.name, args)
+        raise ExecutionError(f"Unsupported expression node: {type(expr).__name__}")
+
+    def _eval_case(
+        self,
+        expr: CaseWhen,
+        row: Row,
+        window_values: Optional[Dict[int, List[Any]]],
+        row_index: Optional[int],
+    ) -> Any:
+        if expr.operand is not None:
+            subject = self._eval(expr.operand, row, window_values, row_index)
+            # Fast path: CASE col WHEN <literal> THEN ... with literal branches is a
+            # dictionary lookup; cleaning queries generate hundreds of branches.
+            lookup = getattr(expr, "_literal_lookup", None)
+            if lookup is None and all(isinstance(cond, Literal) for cond, _ in expr.whens):
+                lookup = {str(cond.value): result for cond, result in expr.whens}
+                setattr(expr, "_literal_lookup", lookup)
+            if lookup is not None:
+                if not is_null(subject) and str(subject) in lookup:
+                    return self._eval(lookup[str(subject)], row, window_values, row_index)
+            else:
+                for condition, result in expr.whens:
+                    candidate = self._eval(condition, row, window_values, row_index)
+                    if not is_null(subject) and not is_null(candidate) and _sql_equal(subject, candidate):
+                        return self._eval(result, row, window_values, row_index)
+        else:
+            for condition, result in expr.whens:
+                if _truthy(self._eval(condition, row, window_values, row_index)):
+                    return self._eval(result, row, window_values, row_index)
+        if expr.default is not None:
+            return self._eval(expr.default, row, window_values, row_index)
+        return None
+
+
+# --------------------------------------------------------------------------
+# helpers
+# --------------------------------------------------------------------------
+def _truthy(value: Any) -> bool:
+    if is_null(value):
+        return False
+    return bool(value)
+
+
+def _hashable(value: Any) -> Any:
+    if is_null(value):
+        return "\0null"
+    if isinstance(value, (list, dict, set)):
+        return str(value)
+    return value
+
+
+def _sort_key(value: Any, descending: bool) -> Tuple:
+    if is_null(value):
+        return (1, "")
+    if isinstance(value, bool):
+        value = int(value)
+    if isinstance(value, (int, float)):
+        return (0, -value) if descending else (0, value)
+    key = str(value)
+    if descending:
+        key = "".join(chr(0x10FFFF - ord(c)) for c in key)
+    return (0, key)
+
+
+def _numeric_pair(left: Any, right: Any) -> Optional[Tuple[float, float]]:
+    """Return both operands as floats when a numeric comparison makes sense.
+
+    When exactly one side is a number and the other is a numeric-looking
+    string, the string is implicitly cast — matching the behaviour of the SQL
+    engines the paper targets.
+    """
+    def to_num(v: Any) -> Optional[float]:
+        if isinstance(v, bool):
+            return float(v)
+        if isinstance(v, (int, float)):
+            return float(v)
+        return None
+
+    def parse_num(v: Any) -> Optional[float]:
+        try:
+            return float(str(v).strip())
+        except (TypeError, ValueError):
+            return None
+
+    a, b = to_num(left), to_num(right)
+    if a is not None and b is not None:
+        return a, b
+    if a is not None and b is None:
+        parsed = parse_num(right)
+        if parsed is not None:
+            return a, parsed
+    if b is not None and a is None:
+        parsed = parse_num(left)
+        if parsed is not None:
+            return parsed, b
+    return None
+
+
+def _sql_equal(left: Any, right: Any) -> bool:
+    pair = _numeric_pair(left, right)
+    if pair is not None:
+        return pair[0] == pair[1]
+    return str(left) == str(right)
+
+
+def _compare(left: Any, right: Any) -> Optional[int]:
+    pair = _numeric_pair(left, right)
+    if pair is not None:
+        a, b = pair
+    else:
+        try:
+            a, b = left, right
+            if a < b or a > b or a == b:
+                pass
+        except TypeError:
+            a, b = str(left), str(right)
+    if a < b:
+        return -1
+    if a > b:
+        return 1
+    return 0
+
+
+def _like_to_regex(pattern: str) -> str:
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return "^" + "".join(out) + "$"
+
+
+def _apply_unary(op: str, value: Any) -> Any:
+    if op == "NOT":
+        if is_null(value):
+            return None
+        return not _truthy(value)
+    if is_null(value):
+        return None
+    if op == "-":
+        return -value
+    if op == "+":
+        return +value
+    raise ExecutionError(f"Unknown unary operator {op}")
+
+
+def _apply_binary(op: str, left: Any, right: Any) -> Any:
+    if op == "||":
+        if is_null(left) or is_null(right):
+            return None
+        return f"{left}{right}"
+    if op == "LIKE":
+        if is_null(left) or is_null(right):
+            return None
+        return re.match(_like_to_regex(str(right)), str(left), flags=re.IGNORECASE) is not None
+    if is_null(left) or is_null(right):
+        return None
+    if op == "=":
+        return _sql_equal(left, right)
+    if op == "<>":
+        return not _sql_equal(left, right)
+    if op in ("<", ">", "<=", ">="):
+        cmp = _compare(left, right)
+        if cmp is None:
+            return None
+        return {"<": cmp < 0, ">": cmp > 0, "<=": cmp <= 0, ">=": cmp >= 0}[op]
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            return None
+        result = left / right
+        return result
+    if op == "%":
+        if right == 0:
+            return None
+        return left % right
+    raise ExecutionError(f"Unknown binary operator {op}")
+
+
+def _contains_aggregate(expr: Expression) -> bool:
+    if isinstance(expr, FunctionCall):
+        if expr.name in AGGREGATE_NAMES:
+            return True
+        return any(_contains_aggregate(a) for a in expr.args)
+    if isinstance(expr, BinaryOp):
+        return _contains_aggregate(expr.left) or _contains_aggregate(expr.right)
+    if isinstance(expr, UnaryOp):
+        return _contains_aggregate(expr.operand)
+    if isinstance(expr, Cast):
+        return _contains_aggregate(expr.operand)
+    if isinstance(expr, CaseWhen):
+        parts: List[Expression] = []
+        for cond, res in expr.whens:
+            parts.extend([cond, res])
+        if expr.default is not None:
+            parts.append(expr.default)
+        if expr.operand is not None:
+            parts.append(expr.operand)
+        return any(_contains_aggregate(p) for p in parts)
+    if isinstance(expr, (IsNull, Between)):
+        return _contains_aggregate(expr.operand)
+    if isinstance(expr, InList):
+        return _contains_aggregate(expr.operand) or any(_contains_aggregate(i) for i in expr.items)
+    return False
+
+
+def _collect_windows(expr: Expression, out: List[WindowFunction]) -> None:
+    if isinstance(expr, WindowFunction):
+        out.append(expr)
+        return
+    if isinstance(expr, FunctionCall):
+        for a in expr.args:
+            _collect_windows(a, out)
+    elif isinstance(expr, BinaryOp):
+        _collect_windows(expr.left, out)
+        _collect_windows(expr.right, out)
+    elif isinstance(expr, UnaryOp):
+        _collect_windows(expr.operand, out)
+    elif isinstance(expr, Cast):
+        _collect_windows(expr.operand, out)
+    elif isinstance(expr, CaseWhen):
+        for cond, res in expr.whens:
+            _collect_windows(cond, out)
+            _collect_windows(res, out)
+        if expr.default is not None:
+            _collect_windows(expr.default, out)
+        if expr.operand is not None:
+            _collect_windows(expr.operand, out)
+    elif isinstance(expr, (IsNull, Between)):
+        _collect_windows(expr.operand, out)
+    elif isinstance(expr, InList):
+        _collect_windows(expr.operand, out)
+        for i in expr.items:
+            _collect_windows(i, out)
+
+
+def _expression_label(expr: Expression, index: int) -> str:
+    if isinstance(expr, FunctionCall):
+        return expr.name.lower()
+    if isinstance(expr, WindowFunction):
+        return expr.name.lower()
+    if isinstance(expr, Cast):
+        inner = expr.operand
+        if isinstance(inner, ColumnRef):
+            return inner.name
+    if isinstance(expr, CaseWhen):
+        return f"case_{index}"
+    return f"col_{index}"

@@ -1,0 +1,294 @@
+"""Scalar and aggregate function implementations for the SQL engine.
+
+All scalar functions follow SQL NULL semantics: a NULL input yields NULL
+unless the function is explicitly NULL-aware (COALESCE, NULLIF, IFNULL).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.dataframe.schema import is_null
+from repro.sql.errors import ExecutionError
+
+
+# --------------------------------------------------------------------------
+# Scalar functions
+# --------------------------------------------------------------------------
+def _null_safe(func: Callable[..., Any]) -> Callable[..., Any]:
+    def wrapper(*args: Any) -> Any:
+        if any(is_null(a) for a in args):
+            return None
+        return func(*args)
+
+    return wrapper
+
+
+def _to_str(value: Any) -> str:
+    if isinstance(value, bool):
+        return "True" if value else "False"
+    if isinstance(value, float) and float(value).is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def _substr(value: Any, start: int, length: Optional[int] = None) -> str:
+    text = _to_str(value)
+    begin = max(int(start) - 1, 0)
+    if length is None:
+        return text[begin:]
+    return text[begin: begin + int(length)]
+
+
+def _round(value: Any, digits: int = 0) -> float:
+    result = round(float(value), int(digits))
+    return result
+
+
+def _regexp_matches(value: Any, pattern: str) -> bool:
+    return re.search(pattern, _to_str(value)) is not None
+
+def _regexp_full_match(value: Any, pattern: str) -> bool:
+    return re.fullmatch(pattern, _to_str(value)) is not None
+
+
+def _regexp_replace(value: Any, pattern: str, replacement: str, flags: str = "") -> str:
+    count = 0 if "g" in flags else 1
+    return re.sub(pattern, replacement, _to_str(value), count=count)
+
+
+def _regexp_extract(value: Any, pattern: str, group: int = 0) -> Optional[str]:
+    match = re.search(pattern, _to_str(value))
+    if match is None:
+        return None
+    try:
+        return match.group(int(group))
+    except IndexError:
+        return None
+
+
+def _coalesce(*args: Any) -> Any:
+    for arg in args:
+        if not is_null(arg):
+            return arg
+    return None
+
+
+def _nullif(a: Any, b: Any) -> Any:
+    if is_null(a):
+        return None
+    if not is_null(b) and a == b:
+        return None
+    return a
+
+
+def _ifnull(a: Any, b: Any) -> Any:
+    return b if is_null(a) else a
+
+
+def _try_float(value: Any) -> Optional[float]:
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
+
+
+SCALAR_FUNCTIONS: Dict[str, Callable[..., Any]] = {
+    "UPPER": _null_safe(lambda v: _to_str(v).upper()),
+    "LOWER": _null_safe(lambda v: _to_str(v).lower()),
+    "TRIM": _null_safe(lambda v: _to_str(v).strip()),
+    "LTRIM": _null_safe(lambda v: _to_str(v).lstrip()),
+    "RTRIM": _null_safe(lambda v: _to_str(v).rstrip()),
+    "LENGTH": _null_safe(lambda v: len(_to_str(v))),
+    "LEN": _null_safe(lambda v: len(_to_str(v))),
+    "SUBSTR": _null_safe(_substr),
+    "SUBSTRING": _null_safe(_substr),
+    "REPLACE": _null_safe(lambda v, a, b: _to_str(v).replace(_to_str(a), _to_str(b))),
+    "CONCAT": lambda *args: "".join(_to_str(a) for a in args if not is_null(a)),
+    "ABS": _null_safe(lambda v: abs(v)),
+    "ROUND": _null_safe(_round),
+    "FLOOR": _null_safe(lambda v: math.floor(float(v))),
+    "CEIL": _null_safe(lambda v: math.ceil(float(v))),
+    "CEILING": _null_safe(lambda v: math.ceil(float(v))),
+    "SQRT": _null_safe(lambda v: math.sqrt(float(v))),
+    "LN": _null_safe(lambda v: math.log(float(v))),
+    "LOG": _null_safe(lambda v: math.log10(float(v))),
+    "POWER": _null_safe(lambda a, b: float(a) ** float(b)),
+    "MOD": _null_safe(lambda a, b: a % b),
+    "REGEXP_MATCHES": _null_safe(_regexp_matches),
+    "REGEXP_FULL_MATCH": _null_safe(_regexp_full_match),
+    "REGEXP_REPLACE": _null_safe(_regexp_replace),
+    "REGEXP_EXTRACT": _null_safe(_regexp_extract),
+    "COALESCE": _coalesce,
+    "NULLIF": _nullif,
+    "IFNULL": _ifnull,
+    "NVL": _ifnull,
+    "REVERSE": _null_safe(lambda v: _to_str(v)[::-1]),
+    "LPAD": _null_safe(lambda v, n, p=" ": _to_str(v).rjust(int(n), _to_str(p)[0])),
+    "RPAD": _null_safe(lambda v, n, p=" ": _to_str(v).ljust(int(n), _to_str(p)[0])),
+    "LEFT": _null_safe(lambda v, n: _to_str(v)[: int(n)]),
+    "RIGHT": _null_safe(lambda v, n: _to_str(v)[-int(n):] if int(n) > 0 else ""),
+    "CONTAINS": _null_safe(lambda v, s: _to_str(s) in _to_str(v)),
+    "STARTS_WITH": _null_safe(lambda v, s: _to_str(v).startswith(_to_str(s))),
+    "ENDS_WITH": _null_safe(lambda v, s: _to_str(v).endswith(_to_str(s))),
+    "TRY_CAST_DOUBLE": _null_safe(_try_float),
+    "TYPEOF": lambda v: type(v).__name__ if not is_null(v) else "NULL",
+}
+
+
+def call_scalar(name: str, args: Sequence[Any]) -> Any:
+    func = SCALAR_FUNCTIONS.get(name.upper())
+    if func is None:
+        raise ExecutionError(f"Unknown scalar function: {name}")
+    try:
+        return func(*args)
+    except (ValueError, TypeError, re.error) as exc:
+        raise ExecutionError(f"Error evaluating {name}({args!r}): {exc}") from exc
+
+
+# --------------------------------------------------------------------------
+# Aggregate functions
+# --------------------------------------------------------------------------
+class Aggregate:
+    """Incremental aggregate accumulator."""
+
+    def add(self, value: Any) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def result(self) -> Any:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class CountAgg(Aggregate):
+    def __init__(self, distinct: bool = False, count_star: bool = False):
+        self.distinct = distinct
+        self.count_star = count_star
+        self.count = 0
+        self.seen: set = set()
+
+    def add(self, value: Any) -> None:
+        if self.count_star:
+            self.count += 1
+            return
+        if is_null(value):
+            return
+        if self.distinct:
+            self.seen.add(str(value))
+        else:
+            self.count += 1
+
+    def result(self) -> int:
+        return len(self.seen) if self.distinct else self.count
+
+
+class SumAgg(Aggregate):
+    def __init__(self) -> None:
+        self.total: Optional[float] = None
+
+    def add(self, value: Any) -> None:
+        if is_null(value):
+            return
+        self.total = (self.total or 0) + value
+
+    def result(self) -> Optional[float]:
+        return self.total
+
+
+class AvgAgg(Aggregate):
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+
+    def add(self, value: Any) -> None:
+        if is_null(value):
+            return
+        self.total += float(value)
+        self.count += 1
+
+    def result(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+
+class MinAgg(Aggregate):
+    def __init__(self) -> None:
+        self.value: Any = None
+
+    def add(self, value: Any) -> None:
+        if is_null(value):
+            return
+        if self.value is None or value < self.value:
+            self.value = value
+
+    def result(self) -> Any:
+        return self.value
+
+
+class MaxAgg(Aggregate):
+    def __init__(self) -> None:
+        self.value: Any = None
+
+    def add(self, value: Any) -> None:
+        if is_null(value):
+            return
+        if self.value is None or value > self.value:
+            self.value = value
+
+    def result(self) -> Any:
+        return self.value
+
+
+class StddevAgg(Aggregate):
+    def __init__(self) -> None:
+        self.values: List[float] = []
+
+    def add(self, value: Any) -> None:
+        if is_null(value):
+            return
+        self.values.append(float(value))
+
+    def result(self) -> Optional[float]:
+        n = len(self.values)
+        if n < 2:
+            return None
+        mean = sum(self.values) / n
+        variance = sum((v - mean) ** 2 for v in self.values) / (n - 1)
+        return math.sqrt(variance)
+
+
+class StringAgg(Aggregate):
+    def __init__(self, separator: str = ",") -> None:
+        self.separator = separator
+        self.parts: List[str] = []
+
+    def add(self, value: Any) -> None:
+        if is_null(value):
+            return
+        self.parts.append(_to_str(value))
+
+    def result(self) -> Optional[str]:
+        return self.separator.join(self.parts) if self.parts else None
+
+
+AGGREGATE_NAMES = {"COUNT", "SUM", "AVG", "MIN", "MAX", "STDDEV", "STDDEV_SAMP", "STRING_AGG", "GROUP_CONCAT"}
+WINDOW_NAMES = {"ROW_NUMBER", "RANK", "DENSE_RANK", "COUNT", "SUM", "MIN", "MAX", "AVG"}
+
+
+def make_aggregate(name: str, distinct: bool = False, count_star: bool = False, separator: str = ",") -> Aggregate:
+    upper = name.upper()
+    if upper == "COUNT":
+        return CountAgg(distinct=distinct, count_star=count_star)
+    if upper == "SUM":
+        return SumAgg()
+    if upper == "AVG":
+        return AvgAgg()
+    if upper == "MIN":
+        return MinAgg()
+    if upper == "MAX":
+        return MaxAgg()
+    if upper in ("STDDEV", "STDDEV_SAMP"):
+        return StddevAgg()
+    if upper in ("STRING_AGG", "GROUP_CONCAT"):
+        return StringAgg(separator)
+    raise ExecutionError(f"Unknown aggregate function: {name}")

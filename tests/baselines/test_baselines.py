@@ -1,0 +1,130 @@
+"""Tests for the baseline systems."""
+
+import pytest
+
+from repro.baselines import (
+    CleanAgentSystem,
+    HoloCleanSystem,
+    RahaBaranSystem,
+    RahaDetector,
+    RetCleanSystem,
+    SystemContext,
+)
+from repro.baselines.baran.models import DomainModel, ValueModel, VicinityModel
+from repro.baselines.cleanagent import CleanAgentFileSizeError
+from repro.baselines.holoclean.denial_constraints import FDConstraint, violating_cells
+from repro.baselines.holoclean.system import HoloCleanMemoryError
+from repro.dataframe import Table
+
+
+@pytest.fixture
+def fd_table() -> Table:
+    """zip → city holds except for one typo'd row; one irrelevant column."""
+    return Table.from_dict(
+        "t",
+        {
+            "zip": ["10001"] * 6 + ["90210"] * 6,
+            "city": ["New York"] * 5 + ["New Yrok"] + ["Los Angeles"] * 6,
+            "note": [f"row {i}" for i in range(12)],
+        },
+    )
+
+
+class TestHoloClean:
+    def test_constraint_violation_detection(self, fd_table):
+        cells = violating_cells(fd_table, FDConstraint("zip", "city"))
+        assert (5, "city") in cells
+        assert all(column == "city" for _, column in cells)
+
+    def test_repairs_to_majority(self, fd_table):
+        system = HoloCleanSystem()
+        output = system.repair(fd_table, SystemContext(denial_constraints=[("zip", "city")]))
+        assert output.repairs == {(5, "city"): "New York"}
+
+    def test_without_constraints_nothing_is_found(self, fd_table):
+        output = HoloCleanSystem().repair(fd_table, SystemContext())
+        assert output.repairs == {}
+
+    def test_memory_budget(self, fd_table):
+        system = HoloCleanSystem(max_cells=10)
+        with pytest.raises(HoloCleanMemoryError):
+            system.repair(fd_table, SystemContext(denial_constraints=[("zip", "city")]))
+
+    def test_low_confidence_groups_not_repaired(self):
+        table = Table.from_dict("t", {"k": ["a"] * 4, "v": ["1", "2", "3", "4"]})
+        output = HoloCleanSystem().repair(table, SystemContext(denial_constraints=[("k", "v")]))
+        assert output.repairs == {}
+
+
+class TestRahaBaran:
+    def test_detector_finds_typo_cells(self, fd_table):
+        detector = RahaDetector()
+        detected = detector.detect(fd_table, SystemContext())
+        assert (5, "city") in detected
+
+    def test_labeled_sample_influences_clusters(self, fd_table):
+        context = SystemContext(labeled_cells={(5, "city"): "New York", (0, "city"): "New York"})
+        detected = RahaDetector().detect(fd_table, context)
+        assert (5, "city") in detected
+
+    def test_value_model_proposes_close_frequent_value(self, fd_table):
+        model = ValueModel()
+        model.fit(fd_table)
+        proposals = model.propose(fd_table, (5, "city"))
+        assert proposals and proposals[0][0] == "New York"
+
+    def test_vicinity_model_uses_cooccurrence(self, fd_table):
+        model = VicinityModel()
+        model.fit(fd_table)
+        proposals = model.propose(fd_table, (5, "city"))
+        assert proposals and proposals[0][0] == "New York"
+
+    def test_domain_model_only_for_dominant_columns(self):
+        table = Table.from_dict("t", {"c": ["x"] * 19 + ["weird"]})
+        model = DomainModel()
+        model.fit(table)
+        assert model.propose(table, (19, "c")) == [("x", 0.55)]
+        assert model.propose(table, (0, "c")) == []
+
+    def test_end_to_end_repair(self, fd_table):
+        context = SystemContext(labeled_cells={(5, "city"): "New York"})
+        output = RahaBaranSystem().repair(fd_table, context)
+        assert output.repairs.get((5, "city")) == "New York"
+
+
+class TestCleanAgent:
+    def test_standardises_dates_only(self):
+        table = Table.from_dict(
+            "t",
+            {"date": ["01/02/2020", "2020-03-04"], "name": ["alpha", "beta"]},
+        )
+        output = CleanAgentSystem().repair(table, SystemContext())
+        assert all(column == "date" for _, column in output.repairs)
+        assert output.repairs[(0, "date")] == "2020-01-02"
+
+    def test_rejects_large_files(self):
+        table = Table.from_dict("t", {"c": ["x" * 100] * 30000})
+        with pytest.raises(CleanAgentFileSizeError):
+            CleanAgentSystem().repair(table, SystemContext())
+
+    def test_no_recognised_types_no_repairs(self):
+        table = Table.from_dict("t", {"c": ["alpha", "beta"]})
+        assert CleanAgentSystem().repair(table, SystemContext()).repairs == {}
+
+
+class TestRetClean:
+    def test_retrieval_from_reference_table(self):
+        dirty = Table.from_dict("t", {"id": ["1", "2"], "city": ["New Yrok", "Boston"]})
+        reference = Table.from_dict("ref", {"id": ["1", "2"], "city": ["New York", "Boston"]})
+        output = RetCleanSystem().repair(dirty, SystemContext(reference_tables=[reference]))
+        assert output.repairs == {(0, "city"): "New York"}
+
+    def test_fallback_fixes_obvious_typos_in_text_columns(self):
+        values = ["Journal of Clinical Medicine"] * 12 + ["Journal of Clinical MMedicine"]
+        dirty = Table.from_dict("t", {"journal": values})
+        output = RetCleanSystem().repair(dirty, SystemContext())
+        assert output.repairs == {(12, "journal"): "Journal of Clinical Medicine"}
+
+    def test_fallback_ignores_short_code_columns(self):
+        dirty = Table.from_dict("t", {"code": ["AB1"] * 12 + ["AB2"]})
+        assert RetCleanSystem().repair(dirty, SystemContext()).repairs == {}

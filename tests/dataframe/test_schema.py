@@ -1,0 +1,144 @@
+"""Tests for the type system and value coercion."""
+
+import datetime
+
+import pytest
+
+from repro.dataframe.schema import (
+    ColumnType,
+    coerce_value,
+    infer_storage_type,
+    infer_type,
+    is_null,
+    parse_date,
+    parse_timestamp,
+    parse_type,
+)
+
+
+class TestParseType:
+    def test_basic_names(self):
+        assert parse_type("VARCHAR") is ColumnType.VARCHAR
+        assert parse_type("integer") is ColumnType.INTEGER
+        assert parse_type("Double") is ColumnType.DOUBLE
+        assert parse_type("BOOLEAN") is ColumnType.BOOLEAN
+        assert parse_type("DATE") is ColumnType.DATE
+        assert parse_type("TIMESTAMP") is ColumnType.TIMESTAMP
+
+    def test_aliases(self):
+        assert parse_type("TEXT") is ColumnType.VARCHAR
+        assert parse_type("BIGINT") is ColumnType.INTEGER
+        assert parse_type("FLOAT") is ColumnType.DOUBLE
+        assert parse_type("BOOL") is ColumnType.BOOLEAN
+        assert parse_type("DATETIME") is ColumnType.TIMESTAMP
+
+    def test_parameterised_type(self):
+        assert parse_type("VARCHAR(255)") is ColumnType.VARCHAR
+        assert parse_type("DECIMAL(10, 2)") is ColumnType.DOUBLE
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ValueError):
+            parse_type("GEOMETRY")
+
+
+class TestIsNull:
+    def test_none_is_null(self):
+        assert is_null(None)
+
+    def test_nan_is_null(self):
+        assert is_null(float("nan"))
+
+    def test_values_are_not_null(self):
+        assert not is_null(0)
+        assert not is_null("")
+        assert not is_null(False)
+
+
+class TestInferType:
+    def test_integers_from_strings(self):
+        assert infer_type(["1", "2", "3"]) is ColumnType.INTEGER
+
+    def test_floats_from_strings(self):
+        assert infer_type(["1.5", "2", "3.25"]) is ColumnType.DOUBLE
+
+    def test_booleans_from_strings(self):
+        assert infer_type(["yes", "no", "yes"]) is ColumnType.BOOLEAN
+
+    def test_dates_from_strings(self):
+        assert infer_type(["2020-01-01", "01/02/2020"]) is ColumnType.DATE
+
+    def test_mixed_falls_back_to_varchar(self):
+        assert infer_type(["1", "abc"]) is ColumnType.VARCHAR
+
+    def test_empty_defaults_to_varchar(self):
+        assert infer_type([]) is ColumnType.VARCHAR
+        assert infer_type([None, None]) is ColumnType.VARCHAR
+
+
+class TestInferStorageType:
+    def test_digit_strings_stay_varchar(self):
+        assert infer_storage_type(["1", "2"]) is ColumnType.VARCHAR
+
+    def test_python_ints(self):
+        assert infer_storage_type([1, 2, None]) is ColumnType.INTEGER
+
+    def test_int_and_float_widen_to_double(self):
+        assert infer_storage_type([1, 2.5]) is ColumnType.DOUBLE
+
+    def test_bools(self):
+        assert infer_storage_type([True, False]) is ColumnType.BOOLEAN
+
+    def test_dates(self):
+        assert infer_storage_type([datetime.date(2020, 1, 1)]) is ColumnType.DATE
+
+    def test_mixed_types_are_varchar(self):
+        assert infer_storage_type([1, "a"]) is ColumnType.VARCHAR
+
+
+class TestParseDate:
+    def test_iso(self):
+        assert parse_date("2021-03-04") == datetime.date(2021, 3, 4)
+
+    def test_us_format(self):
+        assert parse_date("03/04/2021") == datetime.date(2021, 3, 4)
+
+    def test_invalid_returns_none(self):
+        assert parse_date("not a date") is None
+
+    def test_timestamp(self):
+        assert parse_timestamp("2021-03-04 10:30:00") == datetime.datetime(2021, 3, 4, 10, 30)
+
+
+class TestCoerceValue:
+    def test_to_integer(self):
+        assert coerce_value("42", ColumnType.INTEGER) == 42
+        assert coerce_value("42.7", ColumnType.INTEGER) == 42
+        assert coerce_value(True, ColumnType.INTEGER) == 1
+
+    def test_to_integer_failure_is_null(self):
+        assert coerce_value("abc", ColumnType.INTEGER) is None
+
+    def test_to_double(self):
+        assert coerce_value("3.14", ColumnType.DOUBLE) == pytest.approx(3.14)
+        assert coerce_value(2, ColumnType.DOUBLE) == 2.0
+
+    def test_to_boolean(self):
+        assert coerce_value("yes", ColumnType.BOOLEAN) is True
+        assert coerce_value("No", ColumnType.BOOLEAN) is False
+        assert coerce_value("maybe", ColumnType.BOOLEAN) is None
+
+    def test_to_varchar(self):
+        assert coerce_value(True, ColumnType.VARCHAR) == "True"
+        assert coerce_value(5.0, ColumnType.VARCHAR) == "5"
+        assert coerce_value("x", ColumnType.VARCHAR) == "x"
+
+    def test_to_date(self):
+        assert coerce_value("2020-05-06", ColumnType.DATE) == datetime.date(2020, 5, 6)
+        assert coerce_value("garbage", ColumnType.DATE) is None
+
+    def test_to_timestamp_from_date_string(self):
+        assert coerce_value("2020-05-06", ColumnType.TIMESTAMP) == datetime.datetime(2020, 5, 6)
+
+    def test_null_passthrough(self):
+        assert coerce_value(None, ColumnType.INTEGER) is None
+        assert coerce_value("", ColumnType.DOUBLE) is None

@@ -1,0 +1,133 @@
+"""Tests for Column and Table operations."""
+
+import pytest
+
+from repro.dataframe import Column, ColumnType, Table
+
+
+class TestColumn:
+    def test_null_statistics(self):
+        column = Column("c", ["a", None, "b", None])
+        assert column.null_count() == 2
+        assert column.null_fraction() == 0.5
+
+    def test_distinct_preserves_order(self):
+        column = Column("c", ["b", "a", "b", None, "a"])
+        assert column.distinct() == ["b", "a", None]
+
+    def test_unique_ratio(self):
+        assert Column("c", ["a", "b", "c"]).unique_ratio() == 1.0
+        assert Column("c", ["a", "a", "a", "a"]).unique_ratio() == 0.25
+
+    def test_value_counts_excludes_nulls(self):
+        counts = Column("c", ["x", "x", None, "y"]).value_counts()
+        assert counts["x"] == 2
+        assert counts["y"] == 1
+        assert sum(counts.values()) == 3
+
+    def test_cast(self):
+        casted = Column("c", ["1", "2", "oops"]).cast(ColumnType.INTEGER)
+        assert casted.values == [1, 2, None]
+        assert casted.dtype is ColumnType.INTEGER
+
+    def test_min_max_mean(self):
+        column = Column("c", [3, 1, None, 2])
+        assert column.min() == 1
+        assert column.max() == 3
+        assert column.mean() == 2.0
+
+
+class TestTableConstruction:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Table("t", [Column("a", [1, 2]), Column("b", [1])])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Table("t", [Column("a", [1]), Column("a", [2])])
+
+    def test_from_rows_row_width_checked(self):
+        with pytest.raises(ValueError):
+            Table.from_rows("t", ["a", "b"], [[1]])
+
+    def test_shape(self, people_table):
+        assert people_table.shape == (5, 4)
+
+
+class TestTableAccess:
+    def test_cell_and_row(self, people_table):
+        assert people_table.cell(0, "name") == "Ann"
+        assert people_table.row(1)["city"] == "New York"
+
+    def test_missing_column_raises(self, people_table):
+        with pytest.raises(KeyError):
+            people_table.column("nope")
+
+    def test_contains(self, people_table):
+        assert "name" in people_table
+        assert "nope" not in people_table
+
+
+class TestTableTransforms:
+    def test_select_and_drop(self, people_table):
+        assert people_table.select(["name", "age"]).column_names == ["name", "age"]
+        assert "city" not in people_table.drop(["city"]).column_names
+
+    def test_with_column_replaces(self, people_table):
+        replaced = people_table.with_column(Column("age", [0, 0, 0, 0, 0]))
+        assert replaced.column("age").values == [0, 0, 0, 0, 0]
+        assert people_table.column("age").values != [0, 0, 0, 0, 0]
+
+    def test_set_cell_returns_new_table(self, people_table):
+        updated = people_table.set_cell(0, "name", "Zed")
+        assert updated.cell(0, "name") == "Zed"
+        assert people_table.cell(0, "name") == "Ann"
+
+    def test_filter(self, people_table):
+        adults = people_table.filter(lambda row: row["age"] >= 30)
+        assert adults.num_rows == 3
+
+    def test_sort_nulls_last(self, people_table):
+        by_name = people_table.sort_by(["name"])
+        assert by_name.column("name").values[-1] is None
+
+    def test_sort_descending(self, people_table):
+        ages = people_table.sort_by(["age"], descending=True).column("age").values
+        assert ages[:4] == [41, 30, 30, 27]
+
+    def test_distinct(self):
+        table = Table.from_dict("t", {"a": [1, 1, 2], "b": ["x", "x", "y"]})
+        assert table.distinct().num_rows == 2
+
+    def test_group_by(self, people_table):
+        groups = people_table.group_by(["city"])
+        assert sorted(len(v) for v in groups.values()) == [1, 2, 2]
+
+    def test_head_and_take(self, people_table):
+        assert people_table.head(2).num_rows == 2
+        assert people_table.take([4, 0]).column("name").values == ["Eve", "Ann"]
+
+    def test_concat_rows(self, people_table):
+        doubled = people_table.concat_rows(people_table)
+        assert doubled.num_rows == 10
+
+    def test_concat_rows_requires_same_columns(self, people_table):
+        with pytest.raises(ValueError):
+            people_table.concat_rows(people_table.drop(["city"]))
+
+    def test_inner_join(self):
+        left = Table.from_dict("l", {"k": [1, 2, 3], "v": ["a", "b", "c"]})
+        right = Table.from_dict("r", {"k": [2, 3, 4], "w": ["x", "y", "z"]})
+        joined = left.join(right, on=["k"])
+        assert joined.num_rows == 2
+        assert joined.column_names == ["k", "v", "w"]
+
+    def test_left_join_keeps_unmatched(self):
+        left = Table.from_dict("l", {"k": [1, 2], "v": ["a", "b"]})
+        right = Table.from_dict("r", {"k": [2], "w": ["x"]})
+        joined = left.join(right, on=["k"], how="left")
+        assert joined.num_rows == 2
+        assert joined.cell(0, "w") is None
+
+    def test_to_display_contains_null_marker(self, people_table):
+        assert "NULL" in people_table.to_display()

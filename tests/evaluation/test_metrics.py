@@ -1,0 +1,103 @@
+"""Tests for evaluation conventions and repair metrics."""
+
+import pytest
+
+from repro.dataframe import Table
+from repro.evaluation import EvaluationConventions, evaluate_repairs, values_equivalent
+from repro.evaluation.metrics import diff_repairs, error_cells, evaluate_output_table
+
+
+class TestConventions:
+    def test_case_insensitive(self):
+        assert values_equivalent("ENG", "eng")
+
+    def test_boolean_equivalence(self):
+        assert values_equivalent("yes", True)
+        assert values_equivalent("no", "False")
+        assert not values_equivalent("yes", False)
+
+    def test_dmv_as_null(self):
+        assert values_equivalent("N/A", None)
+        assert values_equivalent("--", "")
+
+    def test_numeric_equivalence(self):
+        assert values_equivalent("42", 42.0)
+        assert not values_equivalent("42", 43)
+
+    def test_duration_equivalence(self):
+        assert values_equivalent("90 min", 90.0)
+        assert values_equivalent("1 hr. 30 min.", "90 min")
+        assert not values_equivalent("91 min", 90.0)
+
+    def test_date_equivalence(self):
+        assert values_equivalent("01/07/2004", "2004-01-07")
+
+    def test_whitespace_normalised(self):
+        assert values_equivalent("New  York", "new york")
+
+    def test_extended_conventions_are_strict(self):
+        strict = EvaluationConventions.paper_extended()
+        assert not values_equivalent("yes", True, strict)
+        assert not values_equivalent("N/A", None, strict)
+        # Case-insensitivity is kept even in the extended evaluation.
+        assert values_equivalent("ENG", "eng", strict)
+
+
+class TestMetrics:
+    def _tables(self):
+        dirty = Table.from_dict("t", {"a": ["x", "typo", "z"], "b": ["1", "2", "3"]})
+        clean = Table.from_dict("t", {"a": ["x", "y", "z"], "b": ["1", "2", "30"]})
+        return dirty, clean
+
+    def test_error_cells(self):
+        dirty, clean = self._tables()
+        assert error_cells(dirty, clean) == {(1, "a"), (2, "b")}
+
+    def test_perfect_repair(self):
+        dirty, clean = self._tables()
+        scores = evaluate_repairs(dirty, clean, {(1, "a"): "y", (2, "b"): "30"})
+        assert scores.precision == 1.0 and scores.recall == 1.0 and scores.f1 == 1.0
+
+    def test_no_repairs(self):
+        dirty, clean = self._tables()
+        scores = evaluate_repairs(dirty, clean, {})
+        assert scores.precision == 0.0 and scores.recall == 0.0 and scores.f1 == 0.0
+
+    def test_wrong_repair_hurts_precision(self):
+        dirty, clean = self._tables()
+        scores = evaluate_repairs(dirty, clean, {(1, "a"): "WRONG", (2, "b"): "30"})
+        assert scores.precision == 0.5
+        assert scores.recall == 0.5
+
+    def test_repairing_clean_cell_hurts_precision(self):
+        dirty, clean = self._tables()
+        scores = evaluate_repairs(dirty, clean, {(0, "a"): "changed"})
+        assert scores.precision == 0.0
+
+    def test_noop_repair_under_conventions_ignored(self):
+        dirty = Table.from_dict("t", {"flag": ["yes", "no"]})
+        clean = Table.from_dict("t", {"flag": ["yes", "no"]})
+        scores = evaluate_repairs(dirty, clean, {(0, "flag"): True})
+        assert scores.total_repairs == 0
+
+    def test_removed_rows_excluded_from_denominator(self):
+        dirty, clean = self._tables()
+        scores = evaluate_repairs(dirty, clean, {(2, "b"): "30"}, removed_rows=[1])
+        assert scores.total_errors == 1
+        assert scores.recall == 1.0
+
+    def test_diff_repairs_and_output_table_scoring(self):
+        dirty, clean = self._tables()
+        output = Table.from_dict("t", {"a": ["x", "y", "z"], "b": ["1", "2", "3"]})
+        repairs = diff_repairs(dirty, output)
+        assert repairs == {(1, "a"): "y"}
+        scores = evaluate_output_table(dirty, clean, output)
+        assert scores.precision == 1.0
+        assert scores.recall == 0.5
+
+    def test_scores_counts_exposed(self):
+        dirty, clean = self._tables()
+        scores = evaluate_repairs(dirty, clean, {(1, "a"): "y"})
+        assert scores.correct_repairs == 1
+        assert scores.total_repairs == 1
+        assert scores.total_errors == 2
