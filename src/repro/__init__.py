@@ -16,13 +16,27 @@ inventory and ``EXPERIMENTS.md`` for the reproduced tables.
 from repro.core import CleaningConfig, CleaningResult, CocoonCleaner
 from repro.datasets import load_dataset, dataset_names
 from repro.evaluation import EvaluationConventions, Scores, evaluate_repairs
+from repro.service import (
+    CleaningJob,
+    CleaningService,
+    JobResult,
+    JobStatus,
+    ServiceStats,
+    clean_chunked,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CocoonCleaner",
     "CleaningConfig",
     "CleaningResult",
+    "CleaningService",
+    "CleaningJob",
+    "JobResult",
+    "JobStatus",
+    "ServiceStats",
+    "clean_chunked",
     "load_dataset",
     "dataset_names",
     "EvaluationConventions",

@@ -16,8 +16,13 @@ The entry point is :class:`~repro.core.pipeline.CocoonCleaner`.
 from repro.core.result import CellRepair, DetectionFinding, OperatorResult, CleaningResult
 from repro.core.context import CleaningConfig, CleaningContext
 from repro.core.hil import HumanInTheLoop, AutoApprove, CallbackReviewer, ReviewDecision
-from repro.core.pipeline import CocoonCleaner
-from repro.core.workflow import default_operators, ISSUE_ORDER
+from repro.core.pipeline import CocoonCleaner, run_operators
+from repro.core.workflow import (
+    default_operators,
+    ISSUE_ORDER,
+    COLUMN_LEVEL_ISSUES,
+    TABLE_LEVEL_ISSUES,
+)
 
 __all__ = [
     "CocoonCleaner",
@@ -32,5 +37,8 @@ __all__ = [
     "CallbackReviewer",
     "ReviewDecision",
     "default_operators",
+    "run_operators",
     "ISSUE_ORDER",
+    "COLUMN_LEVEL_ISSUES",
+    "TABLE_LEVEL_ISSUES",
 ]

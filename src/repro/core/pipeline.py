@@ -4,12 +4,13 @@ from __future__ import annotations
 
 import re
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.context import ROW_ID_COLUMN, CleaningConfig, CleaningContext
 from repro.core.hil import AutoApprove, HumanInTheLoop
 from repro.core.result import CleaningResult, OperatorResult
 from repro.core.workflow import default_operators
+from repro.core.operators import CleaningOperator
 from repro.dataframe.column import Column
 from repro.dataframe.io import read_csv
 from repro.dataframe.schema import ColumnType
@@ -17,6 +18,29 @@ from repro.dataframe.table import Table
 from repro.llm.base import LLMClient
 from repro.llm.simulated import SimulatedSemanticLLM
 from repro.sql.database import Database
+
+
+def run_operators(
+    context: CleaningContext,
+    hil: HumanInTheLoop,
+    operators: Optional[Sequence[CleaningOperator]] = None,
+) -> List[OperatorResult]:
+    """Run cleaning operators against a prepared context.
+
+    This is the single execution path shared by :class:`CocoonCleaner` and the
+    concurrent service layer (:mod:`repro.service`): both whole-table runs and
+    per-chunk runs reduce to this call with a different operator subset.  When
+    ``operators`` is None the canonical workflow order filtered by the
+    context's config is used.
+    """
+    if operators is None:
+        operators = default_operators(context.config.enabled_issues)
+    results: List[OperatorResult] = []
+    for operator in operators:
+        if not context.config.issue_enabled(operator.issue_type):
+            continue
+        results.extend(operator.run(context, hil))
+    return results
 
 
 class CocoonCleaner:
@@ -44,21 +68,21 @@ class CocoonCleaner:
         self.config = config or CleaningConfig()
         self.hil = hil or AutoApprove()
         self.database = database or Database()
+        # Original table name → the base name it was assigned in the database.
+        # Distinct originals that sanitise identically ("My Data" / "my-data")
+        # get numeric suffixes instead of silently overwriting each other.
+        self._assigned_names: Dict[str, str] = {}
 
     # -- public API -------------------------------------------------------------
     def clean(self, table: Table) -> CleaningResult:
         """Clean an in-memory table and return repairs, SQL and the cleaned table."""
-        base_name = self._sanitise_name(table.name or "dataset")
+        base_name = self._base_name_for(table.name or "dataset")
         working = self._with_row_ids(table, base_name)
         self.database.register(working, replace=True)
         context = CleaningContext(self.database, self.llm, base_name, config=self.config)
 
         llm_calls_before = self.llm.call_count
-        operator_results: List[OperatorResult] = []
-        for operator in default_operators(self.config.enabled_issues):
-            if not self.config.issue_enabled(operator.issue_type):
-                continue
-            operator_results.extend(operator.run(context, self.hil))
+        operator_results = run_operators(context, self.hil)
 
         cleaned_with_ids = context.current_table()
         cleaned = cleaned_with_ids.drop([ROW_ID_COLUMN]).rename(table.name)
@@ -77,6 +101,26 @@ class CocoonCleaner:
         return self.clean(read_csv(path, infer_types=False))
 
     # -- helpers -----------------------------------------------------------------
+    def _base_name_for(self, original: str) -> str:
+        """Assign a unique database base name for an original table name.
+
+        Cleaning the same table again reuses its assigned name (the re-run
+        replaces the old registration); a *different* original that happens to
+        sanitise to an already-claimed name is disambiguated with a numeric
+        suffix so two tables never clobber each other in the shared database.
+        """
+        if original in self._assigned_names:
+            return self._assigned_names[original]
+        base = self._sanitise_name(original)
+        claimed = set(self._assigned_names.values())
+        candidate = base
+        counter = 1
+        while candidate in claimed or self.database.has_table(candidate):
+            counter += 1
+            candidate = f"{base}_{counter}"
+        self._assigned_names[original] = candidate
+        return candidate
+
     @staticmethod
     def _sanitise_name(name: str) -> str:
         cleaned = re.sub(r"[^A-Za-z0-9_]", "_", name).strip("_").lower()

@@ -9,9 +9,12 @@ from __future__ import annotations
 
 import html
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import TYPE_CHECKING, List, Optional, Union
 
 from repro.core.result import CleaningResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service builds on core)
+    from repro.service.stats import ServiceStats
 
 
 def render_sql_pipeline(result: CleaningResult) -> str:
@@ -83,6 +86,43 @@ def _table_preview(result: CleaningResult, max_rows: int) -> str:
         cells.append("</tr>")
     cells.append("</table>")
     return "".join(cells)
+
+
+def render_service_summary(stats: "ServiceStats") -> str:
+    """Human-readable summary of a batch-cleaning service run.
+
+    Accepts the :class:`~repro.service.stats.ServiceStats` snapshot produced
+    by :meth:`~repro.service.scheduler.CleaningService.stats` and renders the
+    throughput / latency / cache metrics as an aligned text block (the CLI
+    prints this after every batch).
+    """
+    lines = [
+        "Cleaning service summary",
+        "------------------------",
+        f"jobs        : {stats.jobs_submitted} submitted, {stats.jobs_succeeded} succeeded, "
+        f"{stats.jobs_failed} failed, {stats.jobs_cancelled} cancelled",
+        f"volume      : {stats.rows_cleaned} rows cleaned, {stats.cells_repaired} cells repaired, "
+        f"{stats.rows_removed} rows removed",
+        f"llm         : {stats.llm_calls} calls"
+        + (
+            f"; cache {stats.cache_hits} hits / {stats.cache_misses} misses "
+            f"({stats.cache_hit_rate:.0%} hit rate, {stats.cache_size} entries)"
+            if stats.cache_hits or stats.cache_misses
+            else ""
+        ),
+        f"throughput  : {stats.jobs_per_second:.2f} jobs/s, {stats.rows_per_second:.0f} rows/s "
+        f"over {stats.wall_seconds:.2f}s wall time",
+        f"latency     : avg {stats.run_seconds_avg:.2f}s, p50 {stats.run_seconds_p50:.2f}s, "
+        f"max {stats.run_seconds_max:.2f}s per job (avg queue wait {stats.wait_seconds_avg:.2f}s)",
+    ]
+    if stats.chunked_jobs or stats.fallback_jobs:
+        lines.append(
+            f"chunking    : {stats.chunked_jobs} jobs chunked, "
+            f"{stats.fallback_jobs} fell back to whole-table mode"
+        )
+    if stats.wall_seconds > 0 and stats.jobs_succeeded > 1:
+        lines.append(f"concurrency : {stats.speedup_over_sequential:.2f}x speedup over summed job runtimes")
+    return "\n".join(lines)
 
 
 def write_report(result: CleaningResult, directory: Union[str, Path]) -> List[Path]:

@@ -35,6 +35,28 @@ ISSUE_ORDER: List[str] = [
     "column_uniqueness",
 ]
 
+#: Issues judged per column, independent of other rows' relationships.  The
+#: service layer's chunked mode runs these on horizontal partitions; note the
+#: judgements are frequency-driven, so partitioned runs approximate (and with
+#: generous chunk sizes match) whole-table behaviour — see
+#: :mod:`repro.service.chunking`.
+COLUMN_LEVEL_ISSUES: List[str] = [
+    "string_outliers",
+    "pattern_outliers",
+    "disguised_missing_value",
+    "column_type",
+    "numeric_outliers",
+]
+
+#: Issues that reason across whole rows or row pairs (functional dependencies,
+#: duplicate rows, key uniqueness).  Chunked cleaning must run these on the
+#: merged table, never per partition.
+TABLE_LEVEL_ISSUES: List[str] = [
+    "functional_dependency",
+    "duplication",
+    "column_uniqueness",
+]
+
 _OPERATOR_CLASSES = {
     "string_outliers": StringOutlierOperator,
     "pattern_outliers": PatternOutlierOperator,

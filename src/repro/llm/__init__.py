@@ -20,7 +20,7 @@ when network access and API keys are available.
 
 from repro.llm.base import LLMClient, LLMResponse, LLMUsage, CallRecord
 from repro.llm.simulated import SimulatedSemanticLLM
-from repro.llm.cache import CachingLLMClient
+from repro.llm.cache import CachingLLMClient, PromptCacheStore, prompt_cache_key
 from repro.llm import prompts, parsing
 
 __all__ = [
@@ -30,6 +30,8 @@ __all__ = [
     "CallRecord",
     "SimulatedSemanticLLM",
     "CachingLLMClient",
+    "PromptCacheStore",
+    "prompt_cache_key",
     "prompts",
     "parsing",
 ]

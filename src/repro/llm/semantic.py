@@ -86,7 +86,7 @@ def value_shape(value: str) -> str:
         elif piece.isalpha():
             pieces.append(rf"[A-Za-z]{{{len(piece)}}}")
         elif piece.isspace():
-            pieces.append(r"\s")
+            pieces.append(rf"\s{{{len(piece)}}}")
         else:
             pieces.append(re.escape(piece))
     return "".join(pieces)

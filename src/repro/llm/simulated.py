@@ -16,6 +16,7 @@ in the paper) changes nothing else in the system.
 from __future__ import annotations
 
 import re
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.llm.base import LLMClient
@@ -47,9 +48,18 @@ class SimulatedSemanticLLM(LLMClient):
 
     model_name = "simulated-semantic-llm"
 
-    def __init__(self, semantic_model: Optional[SemanticModel] = None):
+    def __init__(
+        self,
+        semantic_model: Optional[SemanticModel] = None,
+        latency_seconds: float = 0.0,
+    ):
         super().__init__()
         self.semantic = semantic_model or SemanticModel()
+        # Optional per-call sleep modelling hosted-API latency.  Answers stay
+        # deterministic; only wall-clock changes.  The throughput benchmarks
+        # use this to reproduce the I/O-bound regime real deployments run in,
+        # where concurrent jobs overlap their LLM waits.
+        self.latency_seconds = latency_seconds
         # Per-column value frequencies remembered from detection prompts, so the
         # cleaning prompt (which lists values without counts, as in Figure 3)
         # can still prefer the most common representation — the same role the
@@ -58,6 +68,8 @@ class SimulatedSemanticLLM(LLMClient):
 
     # -- dispatch -----------------------------------------------------------------
     def _complete(self, prompt: str, system: Optional[str] = None) -> str:
+        if self.latency_seconds > 0:
+            time.sleep(self.latency_seconds)
         if "Strange characters or typos" in prompt:
             return self._string_outlier_detection(prompt)
         if "Maps those unusual values to the correct ones" in prompt:

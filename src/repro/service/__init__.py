@@ -1,0 +1,39 @@
+"""Concurrent batch-cleaning service on top of the Cocoon pipeline.
+
+The seed system cleans one table per synchronous call.  This package is the
+scaling layer the ROADMAP's production north-star asks for:
+
+* :mod:`repro.service.jobs` — job objects with lifecycle, timing and
+  per-job LLM accounting;
+* :mod:`repro.service.queue` — a priority FIFO queue with O(1) cancellation;
+* :mod:`repro.service.scheduler` — :class:`CleaningService`, a thread worker
+  pool giving every job an isolated database/context/LLM while sharing one
+  thread-safe prompt cache;
+* :mod:`repro.service.chunking` — partitioned cleaning of large tables
+  (column-level issues per chunk in parallel, table-level issues on the
+  merged result) with a whole-table fallback;
+* :mod:`repro.service.stats` — throughput / latency / cache metrics,
+  rendered by :func:`repro.core.report.render_service_summary`;
+* :mod:`repro.service.cli` — ``python -m repro.service`` for cleaning a
+  directory of CSV files concurrently.
+"""
+
+from repro.service.chunking import ChunkedCleaningResult, ChunkMergeError, clean_chunked
+from repro.service.jobs import CleaningJob, JobResult, JobStatus
+from repro.service.queue import JobQueue, QueueClosed
+from repro.service.scheduler import CleaningService
+from repro.service.stats import ServiceStats, StatsCollector
+
+__all__ = [
+    "CleaningService",
+    "CleaningJob",
+    "JobResult",
+    "JobStatus",
+    "JobQueue",
+    "QueueClosed",
+    "clean_chunked",
+    "ChunkedCleaningResult",
+    "ChunkMergeError",
+    "ServiceStats",
+    "StatsCollector",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.service`` — the batch-cleaning command line."""
+
+import sys
+
+from repro.service.cli import main
+
+sys.exit(main())

@@ -1,0 +1,268 @@
+"""Partitioned cleaning for large tables.
+
+Column-level issues (typos, pattern outliers, disguised missing values,
+column types, numeric outliers) are judged per column and can therefore run
+on a horizontal partition of the table; table-level issues (functional
+dependencies, duplicate rows, key uniqueness) reason across rows and must
+see the whole table.  ``clean_chunked`` exploits that split: it slices the
+rows into chunks, cleans column-level issues per chunk in parallel, merges
+the cleaned chunks, and runs the table-level operators once on the merged
+result.
+
+Chunk boundaries never lose row identity: the hidden row-id column is
+attached globally *before* slicing, so repairs and removals reported by any
+chunk or by the merged pass refer to original row positions.
+
+If anything goes wrong — a chunk raises, or the chunks disagree on the
+cleaned schema (e.g. a type cast applied in one chunk but not another) —
+the function falls back to the exact whole-table pipeline, trading speed
+for the sequential semantics.
+
+Chunked mode is an approximation, not an equivalence: column-level
+detection and canonical-value choice are driven by value *frequencies in
+the table the operator sees*, so a chunk whose local distribution differs
+enough from the whole table can repair differently (or not at all).  With
+chunks large enough to preserve the dominant value per column the output
+matches whole-table mode cell for cell — the regime the tests pin — but
+very small chunks weaken the statistics and can diverge.  Schema
+validation cannot detect that kind of divergence; pick ``chunk_rows``
+generously (hundreds of rows, not tens).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.context import ROW_ID_COLUMN, CleaningConfig, CleaningContext
+from repro.core.hil import AutoApprove, HumanInTheLoop
+from repro.core.pipeline import CocoonCleaner, run_operators
+from repro.core.result import CleaningResult, OperatorResult
+from repro.core.workflow import COLUMN_LEVEL_ISSUES, TABLE_LEVEL_ISSUES, default_operators
+from repro.dataframe.table import Table
+from repro.llm.base import LLMClient
+from repro.llm.cache import PromptCacheStore, cached_client
+from repro.llm.simulated import SimulatedSemanticLLM
+from repro.sql.database import Database
+
+LLMFactory = Callable[[], LLMClient]
+HILFactory = Callable[[], HumanInTheLoop]
+
+
+class ChunkMergeError(RuntimeError):
+    """Cleaned chunks cannot be merged back into one coherent table."""
+
+
+@dataclass
+class ChunkedCleaningResult(CleaningResult):
+    """A :class:`CleaningResult` annotated with how the chunked run went."""
+
+    chunk_rows: int = 0
+    chunk_count: int = 1
+    parallel_workers: int = 1
+    fell_back: bool = False
+
+
+def _chunk_bounds(num_rows: int, chunk_rows: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, end)`` row ranges of at most ``chunk_rows`` rows."""
+    return [(start, min(start + chunk_rows, num_rows)) for start in range(0, num_rows, chunk_rows)]
+
+
+def _clean_chunk(
+    chunk_table: Table,
+    chunk_name: str,
+    config: CleaningConfig,
+    llm: LLMClient,
+    hil: HumanInTheLoop,
+) -> Tuple[Table, List[OperatorResult], List[str], int]:
+    """Run the column-level operators on one chunk in its own database."""
+    db = Database(name=chunk_name)
+    db.register(chunk_table.rename(chunk_name), replace=True)
+    context = CleaningContext(db, llm, chunk_name, config=config)
+    issues = [i for i in COLUMN_LEVEL_ISSUES if config.issue_enabled(i)]
+    calls_before = llm.call_count
+    results = run_operators(context, hil, operators=default_operators(issues))
+    return (
+        context.current_table(),
+        results,
+        list(context.sql_statements),
+        llm.call_count - calls_before,
+    )
+
+
+def _validate_chunk_schemas(chunks: Sequence[Table]) -> None:
+    first = chunks[0]
+    names = first.column_names
+    dtypes = [c.dtype for c in first.columns]
+    for i, chunk in enumerate(chunks[1:], start=1):
+        if chunk.column_names != names:
+            raise ChunkMergeError(
+                f"chunk {i} produced columns {chunk.column_names}, chunk 0 produced {names}"
+            )
+        if [c.dtype for c in chunk.columns] != dtypes:
+            raise ChunkMergeError(
+                f"chunk {i} produced column types {[str(c.dtype) for c in chunk.columns]}, "
+                f"chunk 0 produced {[str(d) for d in dtypes]}"
+            )
+
+
+def clean_chunked(
+    table: Table,
+    chunk_rows: int,
+    llm_factory: Optional[LLMFactory] = None,
+    config: Optional[CleaningConfig] = None,
+    hil_factory: Optional[HILFactory] = None,
+    cache_store: Optional[PromptCacheStore] = None,
+    max_workers: Optional[int] = None,
+) -> ChunkedCleaningResult:
+    """Clean ``table`` in row partitions of at most ``chunk_rows`` rows.
+
+    Each chunk gets its own fresh LLM instance from ``llm_factory`` (stateful
+    simulated models must not see interleaved prompts from other chunks) and
+    its own :class:`~repro.sql.database.Database`; an optional shared
+    ``cache_store`` deduplicates identical prompts across chunks and jobs.
+
+    Tables that fit in a single chunk — and any chunked run that fails — use
+    the whole-table pipeline (``fell_back`` marks the failure case).
+    """
+    if chunk_rows < 1:
+        raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    llm_factory = llm_factory or SimulatedSemanticLLM
+    config = config or CleaningConfig()
+    hil_factory = hil_factory or AutoApprove
+
+    bounds = _chunk_bounds(table.num_rows, chunk_rows)
+    if len(bounds) <= 1:
+        return _whole_table(
+            table, chunk_rows, llm_factory, config, hil_factory, cache_store, fell_back=False
+        )
+
+    base_name = CocoonCleaner._sanitise_name(table.name or "dataset")
+    working = CocoonCleaner._with_row_ids(table, base_name)
+    workers = max_workers if max_workers is not None else min(len(bounds), 4)
+    workers = max(1, workers)
+
+    try:
+        chunk_outputs = _run_chunks(
+            working, bounds, base_name, config, llm_factory, hil_factory, cache_store, workers
+        )
+        cleaned_chunks = [output[0] for output in chunk_outputs]
+        _validate_chunk_schemas(cleaned_chunks)
+    except Exception:
+        return _whole_table(
+            table, chunk_rows, llm_factory, config, hil_factory, cache_store, fell_back=True
+        )
+
+    merged = cleaned_chunks[0]
+    for chunk in cleaned_chunks[1:]:
+        merged = merged.concat_rows(chunk)
+    merged = merged.rename(base_name)
+
+    # Table-level pass on the merged result, in its own database and context.
+    table_llm = cached_client(llm_factory(), cache_store)
+    db = Database(name=base_name)
+    db.register(merged, replace=True)
+    context = CleaningContext(db, table_llm, base_name, config=config)
+    table_issues = [i for i in TABLE_LEVEL_ISSUES if config.issue_enabled(i)]
+    table_results = run_operators(context, hil_factory(), operators=default_operators(table_issues))
+
+    cleaned = context.current_table().drop([ROW_ID_COLUMN]).rename(table.name)
+    operator_results: List[OperatorResult] = []
+    for _, results, _, _ in chunk_outputs:
+        operator_results.extend(results)
+    operator_results.extend(table_results)
+
+    return ChunkedCleaningResult(
+        table_name=table.name,
+        dirty_table=table,
+        cleaned_table=cleaned,
+        operator_results=operator_results,
+        sql_script=_render_chunked_script(base_name, chunk_rows, bounds, chunk_outputs, context.sql_statements),
+        llm_calls=sum(calls for _, _, _, calls in chunk_outputs) + (table_llm.call_count),
+        chunk_rows=chunk_rows,
+        chunk_count=len(bounds),
+        parallel_workers=workers,
+        fell_back=False,
+    )
+
+
+def _run_chunks(
+    working: Table,
+    bounds: Sequence[Tuple[int, int]],
+    base_name: str,
+    config: CleaningConfig,
+    llm_factory: LLMFactory,
+    hil_factory: HILFactory,
+    cache_store: Optional[PromptCacheStore],
+    workers: int,
+) -> List[Tuple[Table, List[OperatorResult], List[str], int]]:
+    def run_one(index: int) -> Tuple[Table, List[OperatorResult], List[str], int]:
+        start, end = bounds[index]
+        chunk_table = working.take(list(range(start, end)))
+        return _clean_chunk(
+            chunk_table,
+            f"{base_name}_chunk{index}",
+            config,
+            cached_client(llm_factory(), cache_store),
+            hil_factory(),
+        )
+
+    if workers == 1:
+        return [run_one(i) for i in range(len(bounds))]
+    with ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-chunk") as pool:
+        return list(pool.map(run_one, range(len(bounds))))
+
+
+def _whole_table(
+    table: Table,
+    chunk_rows: int,
+    llm_factory: LLMFactory,
+    config: CleaningConfig,
+    hil_factory: HILFactory,
+    cache_store: Optional[PromptCacheStore],
+    fell_back: bool,
+) -> ChunkedCleaningResult:
+    llm = cached_client(llm_factory(), cache_store)
+    cleaner = CocoonCleaner(llm=llm, config=config, hil=hil_factory(), database=Database())
+    result = cleaner.clean(table)
+    return ChunkedCleaningResult(
+        table_name=result.table_name,
+        dirty_table=result.dirty_table,
+        cleaned_table=result.cleaned_table,
+        operator_results=result.operator_results,
+        sql_script=result.sql_script,
+        llm_calls=result.llm_calls,
+        chunk_rows=chunk_rows,
+        chunk_count=1,
+        parallel_workers=1,
+        fell_back=fell_back,
+    )
+
+
+def _render_chunked_script(
+    base_name: str,
+    chunk_rows: int,
+    bounds: Sequence[Tuple[int, int]],
+    chunk_outputs: Sequence[Tuple[Table, List[OperatorResult], List[str], int]],
+    table_statements: Sequence[str],
+) -> str:
+    lines: List[str] = [
+        f"-- Cocoon chunked cleaning pipeline for table {base_name}",
+        f"-- {len(bounds)} chunks of at most {chunk_rows} rows; column-level issues cleaned per",
+        "-- chunk, table-level issues (FD, duplication, uniqueness) on the merged result.",
+    ]
+    for index, ((start, end), (_, _, statements, _)) in enumerate(zip(bounds, chunk_outputs)):
+        lines.append("")
+        lines.append(f"-- chunk {index}: rows {start}..{end - 1}")
+        if statements:
+            lines.extend(f"{statement};" for statement in statements)
+        else:
+            lines.append("-- no cleaning necessary in this chunk")
+    lines.append("")
+    lines.append("-- table-level pass on the merged result")
+    if table_statements:
+        lines.extend(f"{statement};" for statement in table_statements)
+    else:
+        lines.append("-- no table-level cleaning necessary")
+    return "\n".join(lines) + "\n"

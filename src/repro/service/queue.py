@@ -1,0 +1,87 @@
+"""A priority FIFO queue of cleaning jobs with cancellation.
+
+``queue.PriorityQueue`` cannot express "cancel this entry" without draining,
+so the service uses its own heap: entries are ``(priority, sequence, job)``
+tuples — lower priority numbers pop first, and the monotonically increasing
+sequence keeps submission order within a priority (strict FIFO).  Cancelled
+jobs stay in the heap but are skipped lazily on pop, which keeps
+cancellation O(1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import List, Optional
+
+from repro.service.jobs import CleaningJob, JobStatus
+
+
+class QueueClosed(Exception):
+    """Raised by :meth:`JobQueue.put` after the queue has been closed."""
+
+
+class JobQueue:
+    """Thread-safe priority FIFO queue of :class:`CleaningJob` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[tuple] = []
+        self._sequence = itertools.count()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    # -- producer side ---------------------------------------------------------
+    def put(self, job: CleaningJob) -> None:
+        with self._not_empty:
+            if self._closed:
+                raise QueueClosed("cannot submit to a closed queue")
+            heapq.heappush(self._heap, (job.priority, next(self._sequence), job))
+            self._not_empty.notify()
+
+    def close(self) -> None:
+        """Stop accepting jobs and wake all blocked consumers."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    # -- consumer side ---------------------------------------------------------
+    def get(self, timeout: Optional[float] = None) -> Optional[CleaningJob]:
+        """Pop the next runnable job, blocking while the queue is open but empty.
+
+        Returns None when the queue is closed and drained (the worker
+        shutdown signal) or when ``timeout`` elapses.  Jobs cancelled while
+        queued are skipped, never returned.
+        """
+        with self._not_empty:
+            while True:
+                job = self._pop_runnable()
+                if job is not None:
+                    return job
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout=timeout):
+                    return None
+
+    def _pop_runnable(self) -> Optional[CleaningJob]:
+        while self._heap:
+            _, _, job = heapq.heappop(self._heap)
+            if job.status is JobStatus.PENDING:
+                return job
+            # Cancelled (or otherwise already-settled) entries are dropped.
+        return None
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def pending_count(self) -> int:
+        """Number of queued jobs that are still runnable."""
+        with self._lock:
+            return sum(1 for _, _, job in self._heap if job.status is JobStatus.PENDING)
+
+    def __len__(self) -> int:
+        return self.pending_count()

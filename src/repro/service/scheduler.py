@@ -1,0 +1,276 @@
+"""The concurrent cleaning service: a worker pool over the job queue.
+
+``CleaningService`` turns the single-shot :class:`~repro.core.pipeline.CocoonCleaner`
+into a long-lived service: jobs are submitted (optionally with priorities and
+per-job configs), a configurable pool of worker threads executes them, and
+every job gets a fully isolated :class:`~repro.sql.database.Database`,
+:class:`~repro.core.context.CleaningContext` and LLM instance — only the
+prompt-response cache (:class:`~repro.llm.cache.PromptCacheStore`) is shared,
+so concurrent jobs amortise each other's LLM calls without sharing any
+mutable cleaning state.
+
+Isolation is what makes concurrent results reproducible: no job ever reads
+another job's tables, contexts or operator state.  The one deliberate
+coupling is the shared prompt cache — a job whose prompt was already
+answered reuses that response.  For a pure prompt→response model this is
+invisible; for a *stateful* inner model (the simulated LLM remembers value
+counts from detection prompts) a cross-job cache hit skips the inner call
+that would have recorded that state, which can matter in the corner case
+where two jobs share a detection prompt but diverge afterwards.  Pass
+``share_cache=False`` for strict per-job isolation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.core.context import CleaningConfig
+from repro.core.hil import AutoApprove
+from repro.core.pipeline import CocoonCleaner
+from repro.dataframe.io import read_csv
+from repro.dataframe.table import Table
+from repro.llm.cache import PromptCacheStore, cached_client
+from repro.llm.simulated import SimulatedSemanticLLM
+from repro.service.chunking import (
+    ChunkedCleaningResult,
+    HILFactory,
+    LLMFactory,
+    clean_chunked,
+)
+from repro.service.jobs import CleaningJob, JobResult, JobStatus
+from repro.service.queue import JobQueue
+from repro.service.stats import ServiceStats, StatsCollector
+from repro.sql.database import Database
+
+
+class CleaningService:
+    """Schedules and executes many cleaning jobs on a thread worker pool.
+
+    Typical batch use::
+
+        with CleaningService(workers=4) as service:
+            jobs = [service.submit(t) for t in tables]
+            results = service.wait_all()
+
+    Workers start lazily on the first submission.  ``default_chunk_rows``
+    above zero turns on partitioned cleaning for any table larger than that
+    many rows (overridable per job).
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        llm_factory: Optional[LLMFactory] = None,
+        config: Optional[CleaningConfig] = None,
+        hil_factory: Optional[HILFactory] = None,
+        cache_path: Optional[Union[str, Path]] = None,
+        cache_flush_every: int = 32,
+        cache_store: Optional[PromptCacheStore] = None,
+        share_cache: bool = True,
+        default_chunk_rows: int = 0,
+        chunk_workers: int = 1,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.llm_factory = llm_factory or SimulatedSemanticLLM
+        self.config = config or CleaningConfig()
+        self.hil_factory = hil_factory or AutoApprove
+        self.default_chunk_rows = default_chunk_rows
+        self.chunk_workers = chunk_workers
+        if cache_store is not None:
+            self.cache: Optional[PromptCacheStore] = cache_store
+        elif share_cache:
+            self.cache = PromptCacheStore(cache_path, flush_every=cache_flush_every)
+        else:
+            self.cache = None
+
+        self._queue = JobQueue()
+        self._jobs: List[CleaningJob] = []
+        self._threads: List[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._stats = StatsCollector()
+        self._shutdown = False
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self) -> "CleaningService":
+        """Spawn the worker threads (idempotent; submit() calls this lazily)."""
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("service has been shut down")
+            while len(self._threads) < self.workers:
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"repro-worker-{len(self._threads)}",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+        return self
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting jobs; with ``wait`` drain the queue and join workers."""
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            threads = list(self._threads)
+            self._queue.close()
+        if wait:
+            for thread in threads:
+                thread.join()
+        if self.cache is not None:
+            self.cache.flush()
+
+    def __enter__(self) -> "CleaningService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(wait=exc_type is None)
+
+    # -- submission -------------------------------------------------------------
+    def submit(
+        self,
+        table: Table,
+        priority: int = 0,
+        config: Optional[CleaningConfig] = None,
+        chunk_rows: Optional[int] = None,
+        name: str = "",
+    ) -> CleaningJob:
+        """Queue one table for cleaning and return its job handle."""
+        job = CleaningJob(
+            table=table,
+            priority=priority,
+            config=config,
+            chunk_rows=chunk_rows,
+            name=name or table.name or "",
+        )
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("service has been shut down")
+            # A new batch (first submission, or everything before it already
+            # settled) restarts the throughput wall clock — so idle gaps
+            # between batches don't dilute jobs/s — and evicts the settled
+            # jobs, releasing their tables/results; without eviction a
+            # long-lived service would hold every table ever cleaned.
+            if all(previous.done for previous in self._jobs):
+                self._stats.restart_clock()
+                self._jobs.clear()
+            self._jobs.append(job)
+            # Enqueue under the lock: shutdown() also takes it before closing
+            # the queue, so a job can never be tracked but unqueued.
+            self._queue.put(job)
+        self._stats.record_submitted()
+        self.start()
+        return job
+
+    def submit_csv(self, path: Union[str, Path], **kwargs) -> CleaningJob:
+        """Read a CSV (types left raw, as the cleaner expects) and queue it."""
+        return self.submit(read_csv(path, infer_types=False), **kwargs)
+
+    def cancel(self, job: CleaningJob) -> bool:
+        """Cancel a queued job; running jobs are not interrupted."""
+        cancelled = job.cancel()
+        if cancelled and job.result is not None:
+            self._stats.record_result(job.result)
+        return cancelled
+
+    # -- waiting and results -----------------------------------------------------
+    @property
+    def jobs(self) -> List[CleaningJob]:
+        """Jobs of the current batch (submissions since the service last went
+        idle); earlier batches are evicted to keep long-lived services bounded."""
+        with self._lock:
+            return list(self._jobs)
+
+    def wait_all(self, timeout: Optional[float] = None) -> List[JobResult]:
+        """Block until every current-batch job is terminal; results in submit order."""
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        results: List[JobResult] = []
+        for job in self.jobs:
+            remaining = None if deadline is None else max(0.0, deadline - time.perf_counter())
+            result = job.wait(remaining)
+            if result is None:
+                raise TimeoutError(f"job {job.name!r} did not finish within the timeout")
+            results.append(result)
+        return results
+
+    def clean_tables(
+        self, tables: Sequence[Table], chunk_rows: Optional[int] = None
+    ) -> List[JobResult]:
+        """Convenience batch call: submit every table, wait, return results."""
+        jobs = [self.submit(table, chunk_rows=chunk_rows) for table in tables]
+        return [job.wait() for job in jobs]
+
+    def stats(self) -> ServiceStats:
+        """A point-in-time snapshot of service metrics (including the cache)."""
+        cache_stats = self.cache.stats() if self.cache is not None else None
+        return self._stats.snapshot(cache_stats)
+
+    # -- execution ---------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            if not job.mark_running():
+                continue  # lost the race with a cancellation
+            self._run_job(job)
+
+    def _run_job(self, job: CleaningJob) -> None:
+        started = time.perf_counter()
+        wait_seconds = started - job.submitted_at
+        try:
+            cleaning = self._execute(job)
+            result = JobResult(
+                job_id=job.job_id,
+                table_name=job.name,
+                status=JobStatus.SUCCEEDED,
+                cleaning_result=cleaning,
+                rows=job.table.num_rows,
+                columns=job.table.num_columns,
+                llm_calls=cleaning.llm_calls,
+                cell_repairs=len(cleaning.repairs),
+                removed_rows=len(cleaning.removed_row_ids),
+                wait_seconds=wait_seconds,
+                run_seconds=time.perf_counter() - started,
+                chunked=isinstance(cleaning, ChunkedCleaningResult) and cleaning.chunk_count > 1,
+                chunk_count=getattr(cleaning, "chunk_count", 1),
+                fell_back=getattr(cleaning, "fell_back", False),
+            )
+        except Exception as exc:
+            result = JobResult(
+                job_id=job.job_id,
+                table_name=job.name,
+                status=JobStatus.FAILED,
+                error=f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
+                rows=job.table.num_rows,
+                columns=job.table.num_columns,
+                wait_seconds=wait_seconds,
+                run_seconds=time.perf_counter() - started,
+            )
+        job.finish(result)
+        self._stats.record_result(result)
+
+    def _execute(self, job: CleaningJob):
+        config = job.config or self.config
+        chunk_rows = job.chunk_rows if job.chunk_rows is not None else self.default_chunk_rows
+        if chunk_rows and job.table.num_rows > chunk_rows:
+            return clean_chunked(
+                job.table,
+                chunk_rows,
+                llm_factory=self.llm_factory,
+                config=config,
+                hil_factory=self.hil_factory,
+                cache_store=self.cache,
+                max_workers=self.chunk_workers,
+            )
+        llm = cached_client(self.llm_factory(), self.cache)
+        cleaner = CocoonCleaner(
+            llm=llm, config=config, hil=self.hil_factory(), database=Database()
+        )
+        return cleaner.clean(job.table)

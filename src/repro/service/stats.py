@@ -1,0 +1,166 @@
+"""Service-level metrics: throughput, latency, and cache effectiveness.
+
+The collector is shared by all worker threads; every finished job is folded
+into running aggregates under a lock, and :meth:`StatsCollector.snapshot`
+returns an immutable :class:`ServiceStats` suitable for reporting (see
+:func:`repro.core.report.render_service_summary`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.service.jobs import JobResult, JobStatus
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, max(0, round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate metrics of one service run (a snapshot, safe to keep)."""
+
+    jobs_submitted: int = 0
+    jobs_succeeded: int = 0
+    jobs_failed: int = 0
+    jobs_cancelled: int = 0
+    rows_cleaned: int = 0
+    cells_repaired: int = 0
+    rows_removed: int = 0
+    llm_calls: int = 0
+    chunked_jobs: int = 0
+    fallback_jobs: int = 0
+    # Busy wall time: submission-to-last-finish per batch, idle gaps excluded.
+    wall_seconds: float = 0.0
+    # Per-job latency distribution (seconds spent executing).
+    run_seconds_total: float = 0.0
+    run_seconds_avg: float = 0.0
+    run_seconds_p50: float = 0.0
+    run_seconds_max: float = 0.0
+    wait_seconds_avg: float = 0.0
+    # Cache effectiveness of the shared store (zeros when caching is off).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_hit_rate: float = 0.0
+    cache_size: int = 0
+
+    @property
+    def jobs_finished(self) -> int:
+        return self.jobs_succeeded + self.jobs_failed + self.jobs_cancelled
+
+    @property
+    def jobs_per_second(self) -> float:
+        return self.jobs_succeeded / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def rows_per_second(self) -> float:
+        return self.rows_cleaned / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def speedup_over_sequential(self) -> float:
+        """How much faster the wall clock was than summed per-job runtimes."""
+        return self.run_seconds_total / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, Union[int, float]]:
+        return {
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_succeeded": self.jobs_succeeded,
+            "jobs_failed": self.jobs_failed,
+            "jobs_cancelled": self.jobs_cancelled,
+            "rows_cleaned": self.rows_cleaned,
+            "cells_repaired": self.cells_repaired,
+            "rows_removed": self.rows_removed,
+            "llm_calls": self.llm_calls,
+            "chunked_jobs": self.chunked_jobs,
+            "fallback_jobs": self.fallback_jobs,
+            "wall_seconds": self.wall_seconds,
+            "jobs_per_second": self.jobs_per_second,
+            "rows_per_second": self.rows_per_second,
+            "run_seconds_total": self.run_seconds_total,
+            "run_seconds_avg": self.run_seconds_avg,
+            "run_seconds_p50": self.run_seconds_p50,
+            "run_seconds_max": self.run_seconds_max,
+            "wait_seconds_avg": self.wait_seconds_avg,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "cache_size": self.cache_size,
+        }
+
+
+class StatsCollector:
+    """Thread-safe accumulator the scheduler folds every job result into."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._submitted = 0
+        self._results: List[JobResult] = []
+        # Busy wall time is accumulated per batch span: ``restart_clock`` (called
+        # when a submission arrives with nothing in flight) closes the previous
+        # span, so idle gaps between batches don't dilute throughput.
+        self._busy_before = 0.0
+        self._span_start = time.perf_counter()
+        self._last_finish_at = self._span_start
+
+    def record_submitted(self, count: int = 1) -> None:
+        with self._lock:
+            self._submitted += count
+
+    def record_result(self, result: JobResult) -> None:
+        with self._lock:
+            self._results.append(result)
+            self._last_finish_at = time.perf_counter()
+
+    def restart_clock(self) -> None:
+        """Start a new batch span, banking the busy time of the previous one."""
+        with self._lock:
+            self._busy_before += max(0.0, self._last_finish_at - self._span_start)
+            self._span_start = time.perf_counter()
+            self._last_finish_at = self._span_start
+
+    def snapshot(self, cache_stats: Optional[Dict[str, Union[int, float]]] = None) -> ServiceStats:
+        with self._lock:
+            results = list(self._results)
+            submitted = self._submitted
+            wall = self._busy_before + max(0.0, self._last_finish_at - self._span_start)
+        stats = ServiceStats(jobs_submitted=submitted, wall_seconds=wall)
+        run_times: List[float] = []
+        wait_times: List[float] = []
+        for result in results:
+            if result.status is JobStatus.SUCCEEDED:
+                stats.jobs_succeeded += 1
+                stats.rows_cleaned += result.rows
+                stats.cells_repaired += result.cell_repairs
+                stats.rows_removed += result.removed_rows
+                stats.llm_calls += result.llm_calls
+                run_times.append(result.run_seconds)
+                wait_times.append(result.wait_seconds)
+                if result.chunked:
+                    stats.chunked_jobs += 1
+                if result.fell_back:
+                    stats.fallback_jobs += 1
+            elif result.status is JobStatus.FAILED:
+                stats.jobs_failed += 1
+            elif result.status is JobStatus.CANCELLED:
+                stats.jobs_cancelled += 1
+        if run_times:
+            ordered = sorted(run_times)
+            stats.run_seconds_total = sum(run_times)
+            stats.run_seconds_avg = stats.run_seconds_total / len(run_times)
+            stats.run_seconds_p50 = _percentile(ordered, 0.5)
+            stats.run_seconds_max = ordered[-1]
+        if wait_times:
+            stats.wait_seconds_avg = sum(wait_times) / len(wait_times)
+        if cache_stats:
+            stats.cache_hits = int(cache_stats.get("hits", 0))
+            stats.cache_misses = int(cache_stats.get("misses", 0))
+            stats.cache_hit_rate = float(cache_stats.get("hit_rate", 0.0))
+            stats.cache_size = int(cache_stats.get("size", 0))
+        return stats

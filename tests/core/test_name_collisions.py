@@ -1,0 +1,55 @@
+"""Regression tests: tables whose names sanitise identically must not clobber
+each other inside a shared Database."""
+
+from __future__ import annotations
+
+from repro import CocoonCleaner
+from repro.dataframe import Table
+
+
+def _table(name: str, marker: str) -> Table:
+    return Table.from_dict(
+        name,
+        {
+            "lang": ["eng"] * 6 + ["English"] * 2,
+            "marker": [marker] * 8,
+        },
+    )
+
+
+class TestSanitisedNameCollisions:
+    def test_colliding_names_get_distinct_base_names(self):
+        cleaner = CocoonCleaner()
+        first = cleaner.clean(_table("My Data", "first"))
+        second = cleaner.clean(_table("my-data", "second"))
+        # Both results keep their own data: no silent overwrite of either table.
+        assert set(first.cleaned_table.column("marker").values) == {"first"}
+        assert set(second.cleaned_table.column("marker").values) == {"second"}
+        assert cleaner.database.has_table("my_data")
+        assert cleaner.database.has_table("my_data_2")
+        assert "my_data" in first.sql_script
+        assert "my_data_2" in second.sql_script
+
+    def test_recleaning_same_table_reuses_its_name(self):
+        cleaner = CocoonCleaner()
+        cleaner.clean(_table("My Data", "v1"))
+        cleaner.clean(_table("My Data", "v2"))
+        # Same original name → same base name; the re-run replaces the old
+        # registration instead of claiming a suffix.
+        assert cleaner.database.has_table("my_data")
+        assert not cleaner.database.has_table("my_data_2")
+        assert set(cleaner.database.table("my_data").column("marker").values) == {"v2"}
+
+    def test_three_way_collision(self):
+        cleaner = CocoonCleaner()
+        for name in ("data!", "DATA", "d_a_t_a"):
+            cleaner.clean(Table.from_dict(name, {"v": ["a", "b", "a"]}))
+        names = cleaner.database.table_names()
+        assert "data" in names and "data_2" in names
+        assert len(cleaner._assigned_names) == 3
+        assert len(set(cleaner._assigned_names.values())) == 3
+
+    def test_unnamed_table_defaults_to_dataset(self):
+        cleaner = CocoonCleaner()
+        cleaner.clean(Table.from_dict("", {"v": ["a", "b"]}))
+        assert cleaner.database.has_table("dataset")

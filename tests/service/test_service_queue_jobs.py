@@ -1,0 +1,109 @@
+"""Unit tests for the job queue and job lifecycle objects."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.dataframe import Table
+from repro.service import CleaningJob, JobQueue, JobStatus, QueueClosed
+
+
+def _job(name: str, priority: int = 0) -> CleaningJob:
+    table = Table.from_dict(name, {"a": ["1", "2"]})
+    return CleaningJob(table=table, priority=priority, name=name)
+
+
+class TestJobQueue:
+    def test_fifo_within_priority(self):
+        queue = JobQueue()
+        jobs = [_job(f"j{i}") for i in range(5)]
+        for job in jobs:
+            queue.put(job)
+        popped = [queue.get() for _ in range(5)]
+        assert [j.name for j in popped] == [f"j{i}" for i in range(5)]
+
+    def test_lower_priority_number_pops_first(self):
+        queue = JobQueue()
+        low = _job("low-urgency", priority=10)
+        high = _job("high-urgency", priority=1)
+        mid = _job("mid-urgency", priority=5)
+        for job in (low, high, mid):
+            queue.put(job)
+        names = [queue.get().name for _ in range(3)]
+        assert names == ["high-urgency", "mid-urgency", "low-urgency"]
+
+    def test_cancelled_jobs_are_skipped(self):
+        queue = JobQueue()
+        first, second = _job("first"), _job("second")
+        queue.put(first)
+        queue.put(second)
+        assert first.cancel()
+        assert queue.get().name == "second"
+        assert len(queue) == 0
+
+    def test_get_returns_none_when_closed_and_drained(self):
+        queue = JobQueue()
+        job = _job("only")
+        queue.put(job)
+        queue.close()
+        assert queue.get() is job
+        assert queue.get() is None
+
+    def test_put_after_close_raises(self):
+        queue = JobQueue()
+        queue.close()
+        with pytest.raises(QueueClosed):
+            queue.put(_job("late"))
+
+    def test_close_wakes_blocked_consumer(self):
+        queue = JobQueue()
+        seen = []
+
+        def consume():
+            seen.append(queue.get())
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        queue.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert seen == [None]
+
+    def test_get_timeout_returns_none(self):
+        queue = JobQueue()
+        assert queue.get(timeout=0.05) is None
+
+
+class TestCleaningJob:
+    def test_cancel_only_before_running(self):
+        job = _job("x")
+        assert job.mark_running()
+        assert not job.cancel()
+        assert job.status is JobStatus.RUNNING
+
+    def test_cancel_settles_job_with_result(self):
+        job = _job("x")
+        assert job.cancel()
+        assert job.done
+        assert job.status is JobStatus.CANCELLED
+        result = job.wait(timeout=1)
+        assert result is not None and result.status is JobStatus.CANCELLED
+        assert not result.ok
+
+    def test_mark_running_fails_after_cancel(self):
+        job = _job("x")
+        job.cancel()
+        assert not job.mark_running()
+
+    def test_job_ids_are_unique(self):
+        ids = {(_job("a")).job_id for _ in range(10)}
+        assert len(ids) == 10
+
+    def test_terminal_statuses(self):
+        assert JobStatus.SUCCEEDED.terminal
+        assert JobStatus.FAILED.terminal
+        assert JobStatus.CANCELLED.terminal
+        assert not JobStatus.PENDING.terminal
+        assert not JobStatus.RUNNING.terminal
