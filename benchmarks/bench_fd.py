@@ -1,0 +1,125 @@
+"""FD discovery benchmark: single-pass ``discover_fds`` vs the old loop.
+
+Times functional-dependency discovery on synthetic tables of 1k–50k rows
+against ``discover_fds_baseline`` (the original implementation, which
+re-materialises and re-stringifies the table for every column pair), checks
+the candidate lists are byte-identical, and writes ``BENCH_fd.json`` in the
+schema described in ``docs/benchmarks.md``.
+
+Run it from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_fd.py              # full, ~minutes
+    PYTHONPATH=src python benchmarks/bench_fd.py --smoke      # seconds, CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+import benchlib
+
+from repro.dataframe.table import Table
+from repro.profiling import discover_fds, discover_fds_baseline
+
+
+def make_table(rows: int, columns: int, rng: random.Random) -> Table:
+    """A synthetic table with FD structure worth discovering.
+
+    Even columns are low-cardinality determinants; each odd column is a noisy
+    function of its predecessor (so real near-FDs exist); typed values and a
+    5% NULL rate exercise the stringification and null-filtering paths.
+    """
+    data = {}
+    for j in range(columns):
+        if j % 2 == 0:
+            cardinality = 5 + 7 * j
+            values = [rng.randrange(cardinality) for _ in range(rows)]
+        else:
+            parent = data[f"c{j - 1}"]
+            values = [
+                None if p is None or rng.random() < 0.02 else f"v{p}"
+                for p in parent
+            ]
+        data[f"c{j}"] = [None if rng.random() < 0.05 else v for v in values]
+    return Table.from_dict("synthetic", data)
+
+
+# (rows, columns, baseline_repeats_full)
+CASES = [
+    (1000, 8, 3),
+    (5000, 8, 2),
+    (20000, 8, 1),
+    (50000, 6, 1),
+]
+
+SMOKE_ROWS = 500
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_fd.json", help="output JSON path")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats for fast measurements")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"cap all inputs at {SMOKE_ROWS} rows so the whole run takes seconds (CI)",
+    )
+    parser.add_argument("--min-score", type=float, default=0.5)
+    args = parser.parse_args(argv)
+
+    cases = []
+    ok = True
+    for rows, columns, baseline_repeats in CASES:
+        if args.smoke:
+            rows = min(rows, SMOKE_ROWS)
+            baseline_repeats = 1
+        rng = random.Random(args.seed)
+        table = make_table(rows, columns, rng)
+
+        new = discover_fds(table, min_score=args.min_score)
+        old = discover_fds_baseline(table, min_score=args.min_score)
+        parity = len(new) == len(old) and all(
+            a == b and repr(a.score) == repr(b.score) for a, b in zip(new, old)
+        )
+        ok = ok and parity
+
+        optimised_seconds = benchlib.measure(
+            lambda: discover_fds(table, min_score=args.min_score), args.repeats
+        )
+        baseline_seconds = benchlib.measure(
+            lambda: discover_fds_baseline(table, min_score=args.min_score), baseline_repeats
+        )
+        cases.append(
+            benchlib.case_result(
+                f"discover_fds_{rows}x{columns}",
+                {"rows": rows, "columns": columns, "min_score": args.min_score},
+                baseline_seconds,
+                optimised_seconds,
+                output_rows=len(new),
+                parity=parity,
+            )
+        )
+
+    report = benchlib.write_report(
+        args.out,
+        "fd_discovery",
+        {"smoke": args.smoke, "repeats": args.repeats, "seed": args.seed,
+         "min_score": args.min_score},
+        cases,
+    )
+    benchlib.print_cases(report)
+    if not ok:
+        print("ERROR: discover_fds and discover_fds_baseline disagreed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

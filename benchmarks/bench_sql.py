@@ -1,0 +1,173 @@
+"""SQL join benchmark: hash join + predicate pushdown vs the nested loop.
+
+Times the same queries on two executors — the optimised default (index-backed
+hash join, single-side WHERE pushdown) and the pre-overhaul plan (nested-loop
+join, no pushdown, selected via the ``Executor.hash_join`` /
+``Executor.predicate_pushdown`` flags) — on synthetic tables of 1k–10k rows,
+checks the outputs are identical, and writes ``BENCH_sql.json`` in the schema
+described in ``docs/benchmarks.md``.
+
+Run it from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_sql.py             # full, minutes
+    PYTHONPATH=src python benchmarks/bench_sql.py --smoke     # seconds, CI
+
+The full run is slow *by design*: the nested-loop baseline on the 10k x 10k
+equi-join is the quadratic behaviour this PR removed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+import benchlib
+
+from repro.dataframe.table import Table
+from repro.sql import Database
+
+
+def make_table(name: str, rows: int, rng: random.Random, key_space: int) -> Table:
+    """A synthetic fact table: integer join key plus two payload columns."""
+    return Table.from_dict(
+        name,
+        {
+            "k": [rng.randrange(key_space) for _ in range(rows)],
+            "grp": [rng.choice("abcde") for _ in range(rows)],
+            "val": [rng.randrange(1000) for _ in range(rows)],
+        },
+    )
+
+
+def run_query(tables, query: str, optimised: bool) -> Table:
+    db = Database()
+    for table in tables:
+        db.register(table)
+    db.executor.hash_join = optimised
+    db.executor.predicate_pushdown = optimised
+    return db.sql(query)
+
+
+# (name, left_rows, right_rows, query, baseline_repeats_full)
+CASES = [
+    (
+        "inner_equi_join",
+        1000,
+        1000,
+        "SELECT l.k, l.val, r.val AS rval FROM lhs l JOIN rhs r ON l.k = r.k",
+        3,
+    ),
+    (
+        "inner_equi_join",
+        5000,
+        5000,
+        "SELECT l.k, l.val, r.val AS rval FROM lhs l JOIN rhs r ON l.k = r.k",
+        1,
+    ),
+    (
+        "inner_equi_join",
+        10000,
+        10000,
+        "SELECT l.k, l.val, r.val AS rval FROM lhs l JOIN rhs r ON l.k = r.k",
+        1,
+    ),
+    (
+        "left_equi_join_small_build",
+        10000,
+        100,
+        "SELECT l.k, r.val AS rval FROM lhs l LEFT JOIN rhs r ON l.k = r.k",
+        3,
+    ),
+    (
+        "equi_join_residual_predicate",
+        5000,
+        5000,
+        "SELECT l.k FROM lhs l JOIN rhs r ON l.k = r.k AND l.val < r.val",
+        1,
+    ),
+    (
+        "where_pushdown_both_sides",
+        5000,
+        5000,
+        "SELECT l.k, r.val AS rval FROM lhs l JOIN rhs r ON l.k = r.k "
+        "WHERE l.grp = 'a' AND r.grp = 'b'",
+        1,
+    ),
+]
+
+SMOKE_ROWS = 300
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_sql.json", help="output JSON path")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats for fast measurements")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"cap all inputs at {SMOKE_ROWS} rows so the whole run takes seconds (CI)",
+    )
+    args = parser.parse_args(argv)
+
+    cases = []
+    ok = True
+    for name, left_rows, right_rows, query, baseline_repeats in CASES:
+        if args.smoke:
+            left_rows = min(left_rows, SMOKE_ROWS)
+            right_rows = min(right_rows, SMOKE_ROWS)
+            baseline_repeats = 1
+        rng = random.Random(args.seed)
+        # ~1 expected match per probe: the regime cleaning joins run in.
+        key_space = max(left_rows, right_rows)
+        tables = [
+            make_table("lhs", left_rows, rng, key_space),
+            make_table("rhs", right_rows, rng, key_space),
+        ]
+
+        optimised_result = run_query(tables, query, optimised=True)
+        baseline_result = run_query(tables, query, optimised=False)
+        parity = optimised_result.to_dict() == baseline_result.to_dict()
+        ok = ok and parity
+
+        optimised_seconds = benchlib.measure(
+            lambda: run_query(tables, query, optimised=True), args.repeats
+        )
+        baseline_seconds = benchlib.measure(
+            lambda: run_query(tables, query, optimised=False), baseline_repeats
+        )
+        cases.append(
+            benchlib.case_result(
+                f"{name}_{left_rows}x{right_rows}",
+                {
+                    "left_rows": left_rows,
+                    "right_rows": right_rows,
+                    "query": query,
+                },
+                baseline_seconds,
+                optimised_seconds,
+                output_rows=optimised_result.num_rows,
+                parity=parity,
+            )
+        )
+
+    report = benchlib.write_report(
+        args.out,
+        "sql_join",
+        {"smoke": args.smoke, "repeats": args.repeats, "seed": args.seed},
+        cases,
+    )
+    benchlib.print_cases(report)
+    if not ok:
+        print("ERROR: optimised and baseline plans disagreed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -186,7 +186,9 @@ def _split_mapping_line(line: str) -> Tuple[Optional[str], str]:
     key, _, value = line.partition(":")
     key = _unquote(key.strip())
     value = _unquote(value.strip())
-    if not key:
+    if not key.strip():
+        # The response format treats whitespace-only keys as meaningless:
+        # the round-trip contract (tests/property) drops them on parse.
         return None, ""
     return key, value
 
@@ -215,7 +217,8 @@ def render_mapping_yaml(explanation: str, mapping: Dict[str, str]) -> str:
 def _quote(text: str) -> str:
     if text == "":
         return "''"
-    if re.search(r"[:#'\"\n]|^\s|\s$", text):
+    # "- " would read back as a YAML list-item marker, so force quotes.
+    if re.search(r"[:#'\"\n]|^\s|^- |\s$", text):
         escaped = text.replace("'", "''")
         return f"'{escaped}'"
     return text

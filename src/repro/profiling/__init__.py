@@ -10,7 +10,13 @@ fits in a prompt, the profile does.
 
 from repro.profiling.column_profile import ColumnProfile, profile_column
 from repro.profiling.table_profile import TableProfile, profile_table
-from repro.profiling.fd import FDCandidate, discover_fds, fd_entropy_score, fd_violation_groups
+from repro.profiling.fd import (
+    FDCandidate,
+    discover_fds,
+    discover_fds_baseline,
+    fd_entropy_score,
+    fd_violation_groups,
+)
 from repro.profiling.duplicates import duplicate_row_count, duplicate_row_samples
 from repro.profiling.patterns import pattern_counts, match_fraction
 
@@ -21,6 +27,7 @@ __all__ = [
     "profile_table",
     "FDCandidate",
     "discover_fds",
+    "discover_fds_baseline",
     "fd_entropy_score",
     "fd_violation_groups",
     "duplicate_row_count",

@@ -1,12 +1,38 @@
-"""Query executor: evaluates parsed statements against the catalog."""
+"""Query executor: evaluates parsed statements against the catalog.
+
+The executor walks the AST produced by :mod:`repro.sql.parser` and evaluates
+it against the tables registered in a :class:`repro.sql.catalog.Catalog`.
+Rows travel through the pipeline as plain dicts (column name -> value, plus
+``alias.column`` qualified keys whenever a join needs disambiguation).
+
+Join strategy
+-------------
+``JOIN ... ON`` conditions are planned per join:
+
+* Equality predicates linking one side to the other (``l.k = r.k``) are
+  extracted from the ``ON`` conjunction and drive an **index-backed hash
+  join**: the smaller input becomes the build side, the other side probes,
+  and any remaining conjuncts (non-equi predicates, or further equalities
+  beyond the hash key) are evaluated only on probe hits.  Hash keys use the
+  same implicit numeric/string coercion as ``=`` so results are identical to
+  the nested loop's.
+* Joins whose condition contains no extractable equality fall back to the
+  original nested loop.
+
+``WHERE`` conjuncts that reference columns of exactly one join input are
+pushed below the join (left-side conjuncts below any join, right-side
+conjuncts below ``INNER`` joins only, since filtering the right input of a
+``LEFT`` join would change its null-padding).  Both behaviours can be
+disabled per :class:`Executor` via ``hash_join`` / ``predicate_pushdown`` —
+the benchmarks use this to measure the nested-loop baseline.
+"""
 
 from __future__ import annotations
 
 import re
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.dataframe.column import Column
-from repro.dataframe.schema import ColumnType, coerce_value, is_null
+from repro.dataframe.schema import coerce_value, is_null
 from repro.dataframe.table import Table
 from repro.sql.ast_nodes import (
     Between,
@@ -39,10 +65,27 @@ Row = Dict[str, Any]
 
 
 class Executor:
-    """Evaluates statements produced by :mod:`repro.sql.parser`."""
+    """Evaluates statements produced by :mod:`repro.sql.parser`.
 
-    def __init__(self, catalog: Catalog):
+    Parameters
+    ----------
+    catalog:
+        The table registry queries resolve names against.
+    hash_join:
+        When True (default), joins with extractable equality predicates run
+        as hash joins; when False every join uses the nested loop.
+    predicate_pushdown:
+        When True (default), single-side ``WHERE`` conjuncts are evaluated
+        below the join instead of on the joined rows.
+
+    Both flags are plain attributes and may be toggled between queries; the
+    benchmark harness relies on this to time the pre-optimisation plan.
+    """
+
+    def __init__(self, catalog: Catalog, hash_join: bool = True, predicate_pushdown: bool = True):
         self.catalog = catalog
+        self.hash_join = hash_join
+        self.predicate_pushdown = predicate_pushdown
 
     # -- public API -----------------------------------------------------------
     def execute(self, statement: Statement) -> Optional[Table]:
@@ -59,9 +102,9 @@ class Executor:
 
     # -- SELECT pipeline --------------------------------------------------------
     def _execute_select(self, select: Select, result_name: str) -> Table:
-        rows, source_columns = self._resolve_from(select)
-        if select.where is not None:
-            rows = [r for r in rows if _truthy(self._eval(select.where, r))]
+        rows, source_columns, where = self._resolve_from(select)
+        if where is not None:
+            rows = [r for r in rows if _truthy(self._eval(where, r))]
 
         has_group = bool(select.group_by)
         has_aggregate = any(_contains_aggregate(item.expression) for item in select.items) or (
@@ -107,50 +150,191 @@ class Executor:
         return Table.from_rows(result_name, out_names, out_rows)
 
     # -- FROM / JOIN ------------------------------------------------------------
-    def _resolve_from(self, select: Select) -> Tuple[List[Row], List[str]]:
+    def _resolve_from(self, select: Select) -> Tuple[List[Row], List[str], Optional[Expression]]:
+        """Scan the FROM clause and apply joins.
+
+        Returns ``(rows, output_columns, residual_where)``: the WHERE
+        conjuncts that could be pushed below a join have already been applied
+        and only the residual predicate (possibly None) remains for the
+        caller.
+        """
         if select.from_table is None:
             # SELECT without FROM evaluates expressions once against an empty row.
-            return [{}], []
-        rows, columns = self._table_rows(select.from_table)
-        for join in select.joins:
-            rows, columns = self._apply_join(rows, columns, join)
-        return rows, columns
+            return [{}], [], select.where
+        if not select.joins:
+            # Single-table scan: qualified `alias.column` duplicate keys are
+            # only needed for join disambiguation, so skip building them.
+            rows, columns, _ = self._table_rows(select.from_table, qualify=False)
+            return rows, columns, select.where
 
-    def _table_rows(self, ref: TableRef) -> Tuple[List[Row], List[str]]:
+        left_rows, columns, left_keys = self._table_rows(select.from_table, qualify=True)
+        sides = [self._table_rows(join.table, qualify=True) for join in select.joins]
+
+        where = select.where
+        if where is not None and self.predicate_pushdown:
+            key_sets = [frozenset(left_keys)] + [frozenset(keys) for _, _, keys in sides]
+            residual: List[Expression] = []
+            pushed: List[List[Expression]] = [[] for _ in key_sets]
+            for conjunct in _split_conjuncts(where):
+                side = _sole_side(conjunct, key_sets)
+                # Right-side conjuncts only move below INNER joins: filtering
+                # the right input of a LEFT join would turn filtered matches
+                # into null-padded rows instead of removing them.
+                if side == 0 or (side is not None and select.joins[side - 1].kind == "INNER"):
+                    pushed[side].append(conjunct)
+                else:
+                    residual.append(conjunct)
+            if pushed[0]:
+                left_rows = self._filter_rows(left_rows, pushed[0])
+            for i, preds in enumerate(pushed[1:]):
+                if preds:
+                    rows_i, cols_i, keys_i = sides[i]
+                    sides[i] = (self._filter_rows(rows_i, preds), cols_i, keys_i)
+            where = _conjoin(residual)
+
+        left_key_set = set(left_keys)
+        for join, (right_rows, right_columns, right_keys) in zip(select.joins, sides):
+            left_rows, columns = self._apply_join(
+                left_rows, columns, left_key_set, join, right_rows, right_columns, right_keys
+            )
+            left_key_set.update(right_keys)
+        return left_rows, columns, where
+
+    def _filter_rows(self, rows: List[Row], predicates: Sequence[Expression]) -> List[Row]:
+        for predicate in predicates:
+            rows = [r for r in rows if _truthy(self._eval(predicate, r))]
+        return rows
+
+    def _table_rows(self, ref: TableRef, qualify: bool) -> Tuple[List[Row], List[str], List[str]]:
+        """Materialise a FROM item as row dicts.
+
+        Returns ``(rows, column_names, row_keys)`` where ``row_keys`` lists
+        every key a row dict of this table carries — the plain column names
+        plus, when ``qualify`` is set, the ``alias.column`` duplicates used
+        to disambiguate columns across join inputs.
+        """
         if ref.subquery is not None:
             table = self._execute_select(ref.subquery, result_name=ref.alias or "subquery")
         else:
             table = self.catalog.get(ref.name)
-        alias = ref.alias or (ref.name if ref.name else table.name)
-        rows: List[Row] = []
-        for i in range(table.num_rows):
-            row: Row = {}
-            for col in table.columns:
-                row[col.name] = col[i]
-                row[f"{alias}.{col.name}"] = col[i]
-            rows.append(row)
-        return rows, list(table.column_names)
+        names = list(table.column_names)
+        values = [c.values for c in table.columns]
+        if qualify:
+            alias = ref.alias or (ref.name if ref.name else table.name)
+            keys = names + [f"{alias}.{name}" for name in names]
+            rows = [dict(zip(keys, cells + cells)) for cells in zip(*values)] if names else []
+        else:
+            keys = names
+            rows = [dict(zip(keys, cells)) for cells in zip(*values)] if names else []
+        return rows, names, keys
 
-    def _apply_join(self, left_rows: List[Row], left_columns: List[str], join: Join) -> Tuple[List[Row], List[str]]:
-        right_rows, right_columns = self._table_rows(join.table)
+    def _apply_join(
+        self,
+        left_rows: List[Row],
+        left_columns: List[str],
+        left_keys: set,
+        join: Join,
+        right_rows: List[Row],
+        right_columns: List[str],
+        right_keys: Sequence[str],
+    ) -> Tuple[List[Row], List[str]]:
+        columns = left_columns + [c for c in right_columns if c not in left_columns]
+        equi: List[Tuple[Expression, Expression]] = []
+        residual: List[Expression] = []
+        if self.hash_join:
+            equi, residual = _extract_equi_predicates(join.condition, left_keys, set(right_keys))
+        if equi:
+            out = self._hash_join(left_rows, right_rows, right_keys, join.kind, equi, residual)
+        else:
+            out = self._nested_loop_join(left_rows, right_rows, right_keys, join.kind, join.condition)
+        return out, columns
+
+    def _nested_loop_join(
+        self,
+        left_rows: List[Row],
+        right_rows: List[Row],
+        right_keys: Sequence[str],
+        kind: str,
+        condition: Expression,
+    ) -> List[Row]:
         out: List[Row] = []
         for lrow in left_rows:
             matched = False
             for rrow in right_rows:
-                merged = dict(lrow)
-                for key, value in rrow.items():
-                    if key not in merged or "." in key:
-                        merged[key] = value
-                if _truthy(self._eval(join.condition, merged)):
+                merged = _merge_rows(lrow, rrow)
+                if _truthy(self._eval(condition, merged)):
                     matched = True
                     out.append(merged)
-            if not matched and join.kind == "LEFT":
-                merged = dict(lrow)
-                for key in right_rows[0].keys() if right_rows else []:
-                    merged.setdefault(key, None)
-                out.append(merged)
-        columns = left_columns + [c for c in right_columns if c not in left_columns]
-        return out, columns
+            if not matched and kind == "LEFT":
+                out.append(_pad_row(lrow, right_keys))
+        return out
+
+    def _hash_join(
+        self,
+        left_rows: List[Row],
+        right_rows: List[Row],
+        right_keys: Sequence[str],
+        kind: str,
+        equi: List[Tuple[Expression, Expression]],
+        residual: List[Expression],
+    ) -> List[Row]:
+        """Index-backed equi-join producing nested-loop-identical output.
+
+        The first extracted equality supplies the hash key; every further
+        conjunct (equality or not) is verified on probe hits.  The smaller
+        input is the build side, and output rows are emitted in left-major,
+        then right, order so results match the nested loop row for row.
+        """
+        # Empty inputs: return without evaluating any key expression, exactly
+        # like the nested loop (whose condition never runs when either side
+        # is empty) — an expression that would raise must not raise here.
+        if not left_rows or (not right_rows and kind != "LEFT"):
+            return []
+        if not right_rows:
+            return [_pad_row(lrow, right_keys) for lrow in left_rows]
+
+        left_expr, right_expr = equi[0]
+        residual = [BinaryOp("=", l, r) for l, r in equi[1:]] + residual
+
+        def accept(merged: Row) -> bool:
+            return all(_truthy(self._eval(p, merged)) for p in residual)
+
+        out: List[Row] = []
+        if len(right_rows) <= len(left_rows):
+            # Build on the right input, probe with left rows.
+            index: Dict[Tuple[str, Any], List[int]] = {}
+            for j, rrow in enumerate(right_rows):
+                for key in _hash_keys_build(self._eval(right_expr, rrow)):
+                    index.setdefault(key, []).append(j)
+            for lrow in left_rows:
+                matched = False
+                candidates = _probe(index, self._eval(left_expr, lrow))
+                for j in candidates:
+                    merged = _merge_rows(lrow, right_rows[j])
+                    if accept(merged):
+                        matched = True
+                        out.append(merged)
+                if not matched and kind == "LEFT":
+                    out.append(_pad_row(lrow, right_keys))
+        else:
+            # Build on the left input, probe with right rows; buffer matches
+            # per left row so the output stays in left-major order.
+            index = {}
+            for i, lrow in enumerate(left_rows):
+                for key in _hash_keys_build(self._eval(left_expr, lrow)):
+                    index.setdefault(key, []).append(i)
+            buckets: List[List[Row]] = [[] for _ in left_rows]
+            for rrow in right_rows:
+                for i in _probe(index, self._eval(right_expr, rrow)):
+                    merged = _merge_rows(left_rows[i], rrow)
+                    if accept(merged):
+                        buckets[i].append(merged)
+            for i, lrow in enumerate(left_rows):
+                if buckets[i]:
+                    out.extend(buckets[i])
+                elif kind == "LEFT":
+                    out.append(_pad_row(lrow, right_keys))
+        return out
 
     # -- projection ---------------------------------------------------------------
     def _project(
@@ -455,6 +639,198 @@ class Executor:
         if expr.default is not None:
             return self._eval(expr.default, row, window_values, row_index)
         return None
+
+
+# --------------------------------------------------------------------------
+# join planning helpers
+# --------------------------------------------------------------------------
+def _split_conjuncts(expr: Expression) -> List[Expression]:
+    """Flatten a tree of top-level ANDs into its conjuncts."""
+    out: List[Expression] = []
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, BinaryOp) and node.op == "AND":
+            stack.append(node.right)
+            stack.append(node.left)
+        else:
+            out.append(node)
+    return out
+
+
+def _conjoin(conjuncts: Sequence[Expression]) -> Optional[Expression]:
+    """Rebuild an AND tree from conjuncts (None when there are none left)."""
+    result: Optional[Expression] = None
+    for conjunct in conjuncts:
+        result = conjunct if result is None else BinaryOp("AND", result, conjunct)
+    return result
+
+
+def _collect_refs(expr: Expression, out: List[ColumnRef]) -> bool:
+    """Collect every ColumnRef in ``expr``; False if the expression contains
+    a node whose value could depend on more than the current row (so the
+    caller must not move it around)."""
+    if isinstance(expr, Literal):
+        return True
+    if isinstance(expr, ColumnRef):
+        out.append(expr)
+        return True
+    if isinstance(expr, UnaryOp):
+        return _collect_refs(expr.operand, out)
+    if isinstance(expr, BinaryOp):
+        return _collect_refs(expr.left, out) and _collect_refs(expr.right, out)
+    if isinstance(expr, (IsNull, Between)):
+        parts = [expr.operand] + ([expr.low, expr.high] if isinstance(expr, Between) else [])
+        return all(_collect_refs(p, out) for p in parts)
+    if isinstance(expr, InList):
+        return _collect_refs(expr.operand, out) and all(_collect_refs(i, out) for i in expr.items)
+    if isinstance(expr, Cast):
+        return _collect_refs(expr.operand, out)
+    if isinstance(expr, CaseWhen):
+        parts = [p for pair in expr.whens for p in pair]
+        if expr.default is not None:
+            parts.append(expr.default)
+        if expr.operand is not None:
+            parts.append(expr.operand)
+        return all(_collect_refs(p, out) for p in parts)
+    if isinstance(expr, FunctionCall):
+        if expr.name in AGGREGATE_NAMES:
+            return False
+        return all(_collect_refs(a, out) for a in expr.args)
+    # Star, WindowFunction, anything unknown: not movable.
+    return False
+
+
+def _ref_side(ref: ColumnRef, key_sets: Sequence[frozenset]) -> Optional[int]:
+    """Which join input a column reference resolves against.
+
+    Mirrors ``Executor._eval``'s lookup on a merged row: the qualified key is
+    tried first, then the bare name; for a key present in several inputs the
+    merge keeps the first input's value, so the first matching side wins.
+    Qualified keys duplicated across inputs (a repeated alias) are
+    order-dependent in the merge, so they resolve to no side.
+    """
+    key = ref.qualified if ref.table else ref.name
+    for candidate in (key, ref.name):
+        hits = [i for i, keys in enumerate(key_sets) if candidate in keys]
+        if hits:
+            if "." in candidate and len(hits) > 1:
+                return None
+            return hits[0]
+    return None
+
+
+def _sole_side(expr: Expression, key_sets: Sequence[frozenset]) -> Optional[int]:
+    """The single join input ``expr`` reads from, or None."""
+    refs: List[ColumnRef] = []
+    if not _collect_refs(expr, refs) or not refs:
+        return None
+    sides = {_ref_side(ref, key_sets) for ref in refs}
+    if len(sides) == 1 and None not in sides:
+        return sides.pop()
+    return None
+
+
+def _extract_equi_predicates(
+    condition: Expression, left_keys: frozenset, right_keys: frozenset
+) -> Tuple[List[Tuple[Expression, Expression]], List[Expression]]:
+    """Split an ON condition into hashable equalities and a residual.
+
+    An equality qualifies when one operand reads only left-input columns and
+    the other only right-input columns; pairs are returned as
+    ``(left_expr, right_expr)``.  Everything else stays in the residual list,
+    to be evaluated on probe hits.
+    """
+    key_sets = (left_keys, right_keys)
+    equi: List[Tuple[Expression, Expression]] = []
+    residual: List[Expression] = []
+    for conjunct in _split_conjuncts(condition):
+        pair = None
+        if isinstance(conjunct, BinaryOp) and conjunct.op == "=":
+            lside = _sole_side(conjunct.left, key_sets)
+            rside = _sole_side(conjunct.right, key_sets)
+            if lside == 0 and rside == 1:
+                pair = (conjunct.left, conjunct.right)
+            elif lside == 1 and rside == 0:
+                pair = (conjunct.right, conjunct.left)
+        if pair is not None:
+            equi.append(pair)
+        else:
+            residual.append(conjunct)
+    return equi, residual
+
+
+def _merge_rows(lrow: Row, rrow: Row) -> Row:
+    merged = dict(lrow)
+    for key, value in rrow.items():
+        if key not in merged or "." in key:
+            merged[key] = value
+    return merged
+
+
+def _pad_row(lrow: Row, right_keys: Sequence[str]) -> Row:
+    """Null-pad an unmatched LEFT-join row from the right input's schema."""
+    merged = dict(lrow)
+    for key in right_keys:
+        merged.setdefault(key, None)
+    return merged
+
+
+def _hash_keys_build(value: Any) -> Tuple[Tuple[str, Any], ...]:
+    """Hash-table keys a build-side value is stored under.
+
+    Keys are tagged so bucket membership coincides exactly with
+    :func:`_sql_equal`: numbers live under ``("n", float)``, any other value
+    under its string form ``("s", str)``, and numeric-looking strings
+    additionally under ``("x", float)`` so a *number* on the probe side can
+    reach them (string-vs-string comparison stays textual, exactly like
+    ``=``).  NULLs never match, so they produce no keys at all.
+    """
+    if is_null(value):
+        return ()
+    if isinstance(value, bool):
+        # Bools compare numerically AND textually: TRUE = 1 and TRUE = 'True'
+        # both hold under _sql_equal (its str() fallback), so store both keys.
+        # int/float need no text key — their str() form always parses back to
+        # the same float, so the numeric key already covers it.
+        return (("n", float(value)), ("s", str(value)))
+    if isinstance(value, (int, float)):
+        return (("n", float(value)),)
+    text = str(value)
+    try:
+        return (("s", text), ("x", float(text.strip())))
+    except ValueError:
+        return (("s", text),)
+
+
+def _hash_keys_probe(value: Any) -> Tuple[Tuple[str, Any], ...]:
+    """Hash-table keys probed for a value; the mirror of :func:`_hash_keys_build`."""
+    if is_null(value):
+        return ()
+    if isinstance(value, bool):
+        number = float(value)
+        return (("n", number), ("x", number), ("s", str(value)))
+    if isinstance(value, (int, float)):
+        number = float(value)
+        return (("n", number), ("x", number))
+    text = str(value)
+    try:
+        return (("s", text), ("n", float(text.strip())))
+    except ValueError:
+        return (("s", text),)
+
+
+def _probe(index: Dict[Tuple[str, Any], List[int]], value: Any) -> Sequence[int]:
+    """Indices of build rows equal to ``value`` (in build-row order)."""
+    buckets = [index[k] for k in _hash_keys_probe(value) if k in index]
+    if not buckets:
+        return ()
+    if len(buckets) == 1:
+        return buckets[0]
+    # A probe can hit several buckets (numeric builds via "n", numeric-string
+    # builds via "x", bool builds via "s" too); a bool-vs-bool match appears
+    # in two of them, so dedupe, and a sort restores build order.
+    return sorted(set().union(*buckets))
 
 
 # --------------------------------------------------------------------------

@@ -1,4 +1,13 @@
-"""Recursive-descent parser producing :mod:`repro.sql.ast_nodes` trees."""
+"""Recursive-descent parser producing :mod:`repro.sql.ast_nodes` trees.
+
+The module's entry points are :func:`parse` (one full statement — ``SELECT``,
+``CREATE [OR REPLACE] TABLE/VIEW … AS``, ``DROP TABLE/VIEW``) and
+:func:`parse_expression` (a standalone scalar expression, as used by tests
+and the SQL generator).  Both raise :class:`~repro.sql.errors.ParseError`
+with the offending position on malformed input.  Parsing is side-effect
+free: the returned AST references no catalog, so one parse can be executed
+against any :class:`~repro.sql.database.Database`.
+"""
 
 from __future__ import annotations
 
@@ -34,12 +43,23 @@ from repro.sql.tokenizer import Token, TokenType, tokenize
 
 
 def parse(sql: str) -> Statement:
-    """Parse a single SQL statement."""
+    """Parse a single SQL statement into its AST.
+
+    Accepts an optional trailing ``;`` but exactly one statement — use
+    :meth:`repro.sql.database.Database.execute_script` for ``;``-separated
+    scripts.  Raises :class:`~repro.sql.errors.ParseError` on malformed or
+    trailing input.
+    """
     return Parser(sql).parse_statement()
 
 
 def parse_expression(sql: str) -> Expression:
-    """Parse a standalone scalar expression (used by tests and the SQL generator)."""
+    """Parse a standalone scalar expression (used by tests and the SQL generator).
+
+    The expression grammar is the same one ``SELECT`` items and ``WHERE``
+    clauses use: operators with SQL precedence, ``CASE``/``CAST``/function
+    calls, ``IN``/``BETWEEN``/``IS NULL``/``LIKE``.
+    """
     return Parser(sql).parse_standalone_expression()
 
 
