@@ -1,0 +1,110 @@
+"""Experiment-grid throughput: sequential vs the parallel matrix engine.
+
+Times the paper's evaluation grid twice — once at ``--workers 1`` (the
+sequential reference) and once at ``--workers 4`` — with the simulated LLM's
+latency knob enabled, reproducing the I/O-bound regime hosted models run in
+(the sleep releases the GIL, so worker threads overlap their LLM waits).
+Before timing, both runs' golden payloads are compared cell by cell: the
+parallel grid must be byte-identical to the sequential grid, so the
+benchmark doubles as a determinism check and exits non-zero on divergence.
+
+Writes ``BENCH_experiments.json`` in the schema of ``docs/benchmarks.md``.
+
+Run it from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_experiments.py           # full
+    PYTHONPATH=src python benchmarks/bench_experiments.py --smoke   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+import benchlib
+
+from repro.experiments.matrix import ExperimentMatrix, canonical_json
+
+PARALLEL_WORKERS = 4
+
+# (name, tables, llm_latency_seconds)
+CASES = [
+    ("table1_grid_llm_latency", ["table1"], None),
+    ("full_grid_llm_latency", ["table1", "table2", "table3"], None),
+    ("table1_grid_no_latency", ["table1"], 0.0),
+]
+
+
+def run_grid(tables, scale: float, seed: int, workers: int, latency: float):
+    """One grid run on a fresh matrix (fresh cache and store)."""
+    matrix = ExperimentMatrix(
+        tables=tables, seed=seed, scale=scale, workers=workers, llm_latency=latency
+    )
+    started = time.perf_counter()
+    run = matrix.run()
+    return time.perf_counter() - started, run
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny inputs, seconds not minutes")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scale", type=float, default=None,
+                        help="dataset scale (default 0.05 full / 0.02 smoke)")
+    parser.add_argument("--llm-latency", type=float, default=None,
+                        help="simulated per-call latency (default 0.05s full / 0.02s smoke)")
+    parser.add_argument("--workers", type=int, default=PARALLEL_WORKERS)
+    parser.add_argument("--out", default="BENCH_experiments.json")
+    args = parser.parse_args()
+
+    scale = args.scale if args.scale is not None else (0.02 if args.smoke else 0.05)
+    latency = args.llm_latency if args.llm_latency is not None else (0.02 if args.smoke else 0.05)
+
+    cases = []
+    parity_failure = False
+    for name, tables, case_latency in CASES:
+        case_lat = latency if case_latency is None else case_latency
+        sequential_seconds, sequential = run_grid(tables, scale, args.seed, 1, case_lat)
+        parallel_seconds, parallel = run_grid(tables, scale, args.seed, args.workers, case_lat)
+        parity = canonical_json(sequential.golden_payload()) == canonical_json(parallel.golden_payload())
+        parity_failure = parity_failure or not parity
+        cases.append(
+            benchlib.case_result(
+                name=name,
+                params={
+                    "tables": tables,
+                    "cells": sequential.stats.cells_total,
+                    "repair_groups": sequential.stats.repair_groups,
+                    "scale": scale,
+                    "seed": args.seed,
+                    "llm_latency": case_lat,
+                    "workers": args.workers,
+                    "llm_calls": parallel.stats.llm_calls,
+                },
+                baseline_seconds=sequential_seconds,
+                optimised_seconds=parallel_seconds,
+                parity=parity,
+            )
+        )
+
+    report = benchlib.write_report(
+        args.out,
+        "experiment_matrix",
+        config={"smoke": args.smoke, "seed": args.seed, "scale": scale,
+                "llm_latency": latency, "workers": args.workers},
+        cases=cases,
+    )
+    benchlib.print_cases(report)
+    if parity_failure:
+        print("PARITY FAILURE: parallel grid diverged from the sequential grid", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,8 @@ class SystemOutput:
     repairs: Dict[Cell, Any] = field(default_factory=dict)
     detected_cells: List[Cell] = field(default_factory=list)
     notes: str = ""
+    # LLM calls the system made producing this output (0 for non-LLM systems).
+    llm_calls: int = 0
 
 
 class CleaningSystem(abc.ABC):

@@ -2,7 +2,7 @@
 
 from repro.evaluation.conventions import EvaluationConventions, values_equivalent
 from repro.evaluation.metrics import Scores, evaluate_repairs, diff_repairs, evaluate_output_table
-from repro.evaluation.runner import ExperimentRunner, SystemResult
+from repro.evaluation.runner import ExperimentRunner, RepairOutcome, SystemResult
 
 __all__ = [
     "EvaluationConventions",
@@ -12,5 +12,6 @@ __all__ = [
     "diff_repairs",
     "evaluate_output_table",
     "ExperimentRunner",
+    "RepairOutcome",
     "SystemResult",
 ]

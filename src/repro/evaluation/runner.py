@@ -87,10 +87,77 @@ class SystemResult:
     runtime_seconds: float = 0.0
     sampled_rows: Optional[int] = None
     notes: str = ""
+    # Raw output accounting (before scoring-time filtering).
+    detected: int = 0
+    repaired: int = 0
+    llm_calls: int = 0
 
     @property
     def used_sample(self) -> bool:
         return self.sampled_rows is not None
+
+    def to_dict(self) -> Dict[str, object]:
+        """Flat JSON-friendly record; ``runtime_seconds`` is the only
+        non-deterministic field (everything else is a pure function of the
+        dataset seed/scale and the system)."""
+        return {
+            "system": self.system,
+            "dataset": self.dataset,
+            "precision": self.scores.precision,
+            "recall": self.scores.recall,
+            "f1": self.scores.f1,
+            "correct_repairs": self.scores.correct_repairs,
+            "total_repairs": self.scores.total_repairs,
+            "total_errors": self.scores.total_errors,
+            "detected": self.detected,
+            "repaired": self.repaired,
+            "llm_calls": self.llm_calls,
+            "sampled_rows": self.sampled_rows,
+            "notes": self.notes,
+            "runtime_seconds": self.runtime_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SystemResult":
+        scores = Scores(
+            precision=float(data["precision"]),
+            recall=float(data["recall"]),
+            f1=float(data["f1"]),
+            correct_repairs=int(data.get("correct_repairs", 0)),
+            total_repairs=int(data.get("total_repairs", 0)),
+            total_errors=int(data.get("total_errors", 0)),
+        )
+        sampled = data.get("sampled_rows")
+        return cls(
+            system=str(data["system"]),
+            dataset=str(data["dataset"]),
+            scores=scores,
+            runtime_seconds=float(data.get("runtime_seconds", 0.0)),
+            sampled_rows=None if sampled is None else int(sampled),
+            notes=str(data.get("notes", "")),
+            detected=int(data.get("detected", 0)),
+            repaired=int(data.get("repaired", 0)),
+            llm_calls=int(data.get("llm_calls", 0)),
+        )
+
+
+@dataclass
+class RepairOutcome:
+    """Phase one of an experiment cell: what a system did, before scoring.
+
+    The repair phase is independent of the evaluation conventions, so one
+    outcome can be scored several ways — the experiment matrix runs the
+    (Cocoon, hospital) repair once and scores it for both Table 1 (lenient
+    conventions) and Table 3 (strict conventions, extended ground truth).
+    """
+
+    system: str
+    dataset: str
+    output: SystemOutput
+    #: The table the system actually repaired (the head sample on fallback).
+    dirty: Table
+    sampled_rows: Optional[int] = None
+    runtime_seconds: float = 0.0
 
 
 class CocoonSystem(CleaningSystem):
@@ -109,6 +176,7 @@ class CocoonSystem(CleaningSystem):
             repairs=dict(result.repaired_cells()),
             detected_cells=sorted(result.repaired_cells().keys()),
             notes=f"{result.llm_calls} LLM calls, {len(result.operator_results)} operator runs",
+            llm_calls=result.llm_calls,
         )
 
 
@@ -152,22 +220,16 @@ class ExperimentRunner:
         return SystemContext(denial_constraints=constraints, labeled_cells=labeled, seed=self.seed)
 
     # -- running -------------------------------------------------------------------
-    def run_system(
-        self,
-        system_name: str,
-        dataset: BenchmarkDataset,
-        clean_override: Optional[Table] = None,
-    ) -> SystemResult:
-        """Run one system on one dataset and score it.
+    def run_repair(self, system_name: str, dataset: BenchmarkDataset) -> RepairOutcome:
+        """Phase one: run a system on a dataset, without scoring it.
 
-        ``clean_override`` substitutes the ground truth (used by the Table 3
-        evaluation, which scores against the extended clean table).
+        Handles the paper's fallback convention — systems that cannot handle
+        a dataset (memory/file-size limits) are re-run on the first 1000 rows.
         """
         if system_name not in self.system_factories:
             raise KeyError(f"Unknown system {system_name!r}; available: {list(self.system_factories)}")
         system = self.system_factories[system_name]()
         context = self.build_context(dataset)
-        clean = clean_override if clean_override is not None else dataset.clean
 
         dirty = dataset.dirty
         sampled_rows: Optional[int] = None
@@ -179,23 +241,61 @@ class ExperimentRunner:
             # over the sample of the first 1000 rows.
             sampled_rows = min(FALLBACK_SAMPLE_ROWS, dirty.num_rows)
             dirty = dataset.dirty.head(sampled_rows)
-            clean = clean.head(sampled_rows)
             context = self._restrict_context(context, sampled_rows)
             try:
                 output = system.repair(dirty, context)
             except (HoloCleanMemoryError, CleanAgentFileSizeError):
                 output = SystemOutput(repairs={}, notes=f"failed even on sample: {exc}")
         runtime = time.perf_counter() - start
-
-        scores = evaluate_repairs(dirty, clean, output.repairs, self.conventions)
-        return SystemResult(
+        return RepairOutcome(
             system=system_name,
             dataset=dataset.name,
-            scores=scores,
-            runtime_seconds=runtime,
+            output=output,
+            dirty=dirty,
             sampled_rows=sampled_rows,
-            notes=output.notes,
+            runtime_seconds=runtime,
         )
+
+    def score_repair(
+        self,
+        outcome: RepairOutcome,
+        dataset: BenchmarkDataset,
+        clean_override: Optional[Table] = None,
+        conventions: Optional[EvaluationConventions] = None,
+    ) -> SystemResult:
+        """Phase two: score a repair outcome under some conventions.
+
+        ``clean_override`` substitutes the ground truth (used by the Table 3
+        evaluation, which scores against the extended clean table);
+        ``conventions`` overrides the runner-level default, so one outcome
+        can be scored under both the lenient and the strict conventions.
+        """
+        clean = clean_override if clean_override is not None else dataset.clean
+        if outcome.sampled_rows is not None:
+            clean = clean.head(outcome.sampled_rows)
+        conv = conventions or self.conventions
+        scores = evaluate_repairs(outcome.dirty, clean, outcome.output.repairs, conv)
+        return SystemResult(
+            system=outcome.system,
+            dataset=outcome.dataset,
+            scores=scores,
+            runtime_seconds=outcome.runtime_seconds,
+            sampled_rows=outcome.sampled_rows,
+            notes=outcome.output.notes,
+            detected=len(outcome.output.detected_cells),
+            repaired=len(outcome.output.repairs),
+            llm_calls=outcome.output.llm_calls,
+        )
+
+    def run_system(
+        self,
+        system_name: str,
+        dataset: BenchmarkDataset,
+        clean_override: Optional[Table] = None,
+    ) -> SystemResult:
+        """Run one system on one dataset and score it (repair + score)."""
+        outcome = self.run_repair(system_name, dataset)
+        return self.score_repair(outcome, dataset, clean_override=clean_override)
 
     @staticmethod
     def _restrict_context(context: SystemContext, rows: int) -> SystemContext:

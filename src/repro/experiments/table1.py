@@ -6,6 +6,7 @@ from typing import Dict, List, Optional
 
 from repro.datasets import load_dataset, dataset_names
 from repro.evaluation.runner import ExperimentRunner, SystemResult
+from repro.experiments.matrix import validate_names
 
 #: The paper's reported numbers, used by EXPERIMENTS.md and the shape checks.
 PAPER_TABLE1: Dict[str, Dict[str, tuple]] = {
@@ -34,6 +35,7 @@ def run_table1(
     names = datasets if datasets is not None else dataset_names()
     runner = ExperimentRunner(seed=seed)
     if systems is not None:
+        validate_names("system", systems, list(runner.system_factories))
         runner.system_factories = {
             name: factory for name, factory in runner.system_factories.items() if name in systems
         }

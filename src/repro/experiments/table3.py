@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 from repro.datasets import load_dataset
 from repro.evaluation.conventions import EvaluationConventions
 from repro.evaluation.runner import ExperimentRunner, SystemResult
+from repro.experiments.matrix import validate_names
 
 #: Paper-reported numbers for reference.
 PAPER_TABLE3: Dict[str, Dict[str, tuple]] = {
@@ -38,6 +39,7 @@ def run_table3(
     names = datasets if datasets is not None else ["hospital", "movies"]
     runner = ExperimentRunner(conventions=EvaluationConventions.paper_extended(), seed=seed)
     if systems is not None:
+        validate_names("system", systems, list(runner.system_factories))
         runner.system_factories = {
             name: factory for name, factory in runner.system_factories.items() if name in systems
         }

@@ -25,9 +25,23 @@ from typing import Dict, Optional, Union
 from repro.llm.base import LLMClient
 
 
-def prompt_cache_key(prompt: str, system: Optional[str] = None) -> str:
-    """Stable cache key for a (prompt, system) pair."""
+def prompt_cache_key(prompt: str, system: Optional[str] = None, namespace: str = "") -> str:
+    """Stable cache key for a (prompt, system) pair.
+
+    ``namespace`` partitions one shared store into independent key spaces.
+    The experiment matrix namespaces its shared cache per repair unit
+    (dataset/seed/scale/system): the simulated LLM is *stateful* within one
+    cleaning run (detection prompts record value counts that later cleaning
+    prompts consult), so a coincidentally identical prompt from a different
+    run may legitimately deserve a different response — an un-namespaced
+    cross-run hit would make results depend on execution order.  An empty
+    namespace (the default) produces the same keys as before namespacing
+    existed.
+    """
     digest = hashlib.sha256()
+    if namespace:
+        digest.update(namespace.encode("utf-8"))
+        digest.update(b"\0\0")
     digest.update(prompt.encode("utf-8"))
     if system:
         digest.update(b"\0")
@@ -173,19 +187,20 @@ class CachingLLMClient(LLMClient):
         cache_path: Optional[Union[str, Path]] = None,
         flush_every: int = 1,
         store: Optional[PromptCacheStore] = None,
+        namespace: str = "",
     ):
         super().__init__()
         if store is not None and cache_path is not None:
             raise ValueError("Pass either a shared store or a cache_path, not both")
         self.inner = inner
         self.model_name = f"cached({inner.model_name})"
+        self.namespace = namespace
         # All synchronisation lives in the store's RLock; the client itself
         # holds no mutable cache state of its own.
         self.store = store if store is not None else PromptCacheStore(cache_path, flush_every=flush_every)
 
-    @staticmethod
-    def _key(prompt: str, system: Optional[str]) -> str:
-        return prompt_cache_key(prompt, system)
+    def _key(self, prompt: str, system: Optional[str]) -> str:
+        return prompt_cache_key(prompt, system, namespace=self.namespace)
 
     def _complete(self, prompt: str, system: Optional[str] = None) -> str:
         key = self._key(prompt, system)
@@ -224,12 +239,15 @@ class CachingLLMClient(LLMClient):
         self.store.flush()
 
 
-def cached_client(inner: LLMClient, store: Optional[PromptCacheStore]) -> LLMClient:
+def cached_client(
+    inner: LLMClient, store: Optional[PromptCacheStore], namespace: str = ""
+) -> LLMClient:
     """Wrap ``inner`` with a shared store, or return it unchanged when ``store`` is None.
 
-    The one construction path both the scheduler and chunked cleaning use for
-    per-job/per-chunk clients.
+    The one construction path the scheduler, chunked cleaning and the
+    experiment matrix all use for per-job/per-chunk clients.  ``namespace``
+    partitions the shared store (see :func:`prompt_cache_key`).
     """
     if store is None:
         return inner
-    return CachingLLMClient(inner, store=store)
+    return CachingLLMClient(inner, store=store, namespace=namespace)

@@ -293,12 +293,22 @@ class SemanticModel:
             # Plural / singular variants of known words are valid words, not typos.
             if word.rstrip("s") in DOMAIN_VOCABULARY or word + "s" in DOMAIN_VOCABULARY:
                 continue
-            for known in DOMAIN_VOCABULARY:
-                if abs(len(known) - len(word)) <= 1 and len(known) >= 5:
-                    if edit_distance(word, known, 1) <= 1 and known.rstrip("s") != word.rstrip("s"):
-                        fixed_value = re.sub(re.escape(word), known, fixed_value, flags=re.IGNORECASE)
-                        changed = True
-                        break
+            # Several known words can sit within distance 1 ("patient" and
+            # "patients" of "patiens"); prefer the closest, then the shortest
+            # (minimal correction), then alphabetical — never set order, which
+            # would make repairs depend on the process hash seed.
+            candidates = [
+                known
+                for known in DOMAIN_VOCABULARY
+                if abs(len(known) - len(word)) <= 1
+                and len(known) >= 5
+                and edit_distance(word, known, 1) <= 1
+                and known.rstrip("s") != word.rstrip("s")
+            ]
+            if candidates:
+                known = min(candidates, key=lambda k: (edit_distance(word, k, 1), len(k), k))
+                fixed_value = re.sub(re.escape(word), known, fixed_value, flags=re.IGNORECASE)
+                changed = True
         return fixed_value if changed else None
 
     def review_string_values(self, column_name: str, value_counts: Sequence[Tuple[str, int]]) -> StringReview:

@@ -6,6 +6,8 @@ scaling layer the ROADMAP's production north-star asks for:
 * :mod:`repro.service.jobs` — job objects with lifecycle, timing and
   per-job LLM accounting;
 * :mod:`repro.service.queue` — a priority FIFO queue with O(1) cancellation;
+* :mod:`repro.service.pool` — :class:`WorkerPool`, the generic thread pool
+  the cleaning service and the experiment matrix both dispatch onto;
 * :mod:`repro.service.scheduler` — :class:`CleaningService`, a thread worker
   pool giving every job an isolated database/context/LLM while sharing one
   thread-safe prompt cache;
@@ -20,6 +22,7 @@ scaling layer the ROADMAP's production north-star asks for:
 
 from repro.service.chunking import ChunkedCleaningResult, ChunkMergeError, clean_chunked
 from repro.service.jobs import CleaningJob, JobResult, JobStatus
+from repro.service.pool import WorkerPool
 from repro.service.queue import JobQueue, QueueClosed
 from repro.service.scheduler import CleaningService
 from repro.service.stats import ServiceStats, StatsCollector
@@ -31,6 +34,7 @@ __all__ = [
     "JobStatus",
     "JobQueue",
     "QueueClosed",
+    "WorkerPool",
     "clean_chunked",
     "ChunkedCleaningResult",
     "ChunkMergeError",

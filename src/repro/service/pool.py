@@ -1,0 +1,139 @@
+"""A generic worker pool over the priority job queue.
+
+:class:`WorkerPool` owns the threading machinery that used to live inside
+:class:`~repro.service.scheduler.CleaningService`: a fixed set of daemon
+worker threads draining a :class:`~repro.service.queue.JobQueue`.  The pool
+is deliberately ignorant of *what* a job is — it accepts any object
+implementing the small :class:`PoolJob` protocol (``priority``, ``status``,
+``mark_running``) and hands runnable jobs to the ``execute`` callable it was
+constructed with.
+
+Two subsystems dispatch onto it:
+
+* :class:`~repro.service.scheduler.CleaningService` submits
+  :class:`~repro.service.jobs.CleaningJob` objects (clean one table);
+* :class:`~repro.experiments.matrix.ExperimentMatrix` submits experiment
+  cells of the paper's evaluation grid (run one system on one benchmark).
+
+The contract with ``execute``: it is called exactly once per job that won
+its PENDING → RUNNING transition, it must never raise (job-level failures
+belong in the job's result), and it is responsible for moving the job to a
+terminal state so waiters wake up.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional
+
+from repro.service.jobs import JobStatus
+from repro.service.queue import JobQueue
+
+try:  # pragma: no cover - typing backport shim for 3.7
+    from typing import Protocol
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+
+class PoolJob(Protocol):
+    """What the pool needs from a job: ordering and a claimable lifecycle.
+
+    ``status`` is read by the queue (pending jobs pop, settled ones are
+    skipped), ``priority`` orders the heap, and ``mark_running`` claims the
+    job exactly once.
+    """
+
+    priority: int
+    status: "JobStatus"
+
+    def mark_running(self) -> bool:  # pragma: no cover - protocol stub
+        """Claim the job (PENDING → RUNNING); False if already settled."""
+        ...
+
+
+class WorkerPool:
+    """A fixed pool of daemon threads executing jobs from a priority queue.
+
+    Workers start lazily on the first :meth:`submit` (or eagerly via
+    :meth:`start`).  ``shutdown(wait=True)`` closes the queue, lets the
+    workers drain it, and joins them; submissions after shutdown raise
+    :class:`RuntimeError`.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        execute: Callable[..., None],
+        thread_name: str = "repro-worker",
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.execute = execute
+        self.thread_name = thread_name
+        self.queue = JobQueue()
+        self._threads: List[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._shutdown = False
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self) -> "WorkerPool":
+        """Spawn the worker threads (idempotent)."""
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("worker pool has been shut down")
+            while len(self._threads) < self.workers:
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"{self.thread_name}-{len(self._threads)}",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+        return self
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting jobs; with ``wait`` drain the queue and join workers.
+
+        Idempotent, and callable again with ``wait=True`` after a
+        ``wait=False`` shutdown to join the workers later.
+        """
+        with self._lock:
+            if not self._shutdown:
+                self._shutdown = True
+                self.queue.close()
+            threads = list(self._threads)
+        if wait:
+            for thread in threads:
+                thread.join()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._shutdown
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(wait=exc_type is None)
+
+    # -- submission -------------------------------------------------------------
+    def submit(self, job: PoolJob) -> PoolJob:
+        """Enqueue one job and make sure the workers are running."""
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("worker pool has been shut down")
+            self.queue.put(job)
+        self.start()
+        return job
+
+    # -- execution ---------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            job = self.queue.get()
+            if job is None:
+                return
+            if not job.mark_running():
+                continue  # lost the race with a cancellation
+            self.execute(job)

@@ -1,4 +1,4 @@
-"""A priority FIFO queue of cleaning jobs with cancellation.
+"""A priority FIFO queue of pool jobs with cancellation.
 
 ``queue.PriorityQueue`` cannot express "cancel this entry" without draining,
 so the service uses its own heap: entries are ``(priority, sequence, job)``
@@ -6,6 +6,11 @@ tuples — lower priority numbers pop first, and the monotonically increasing
 sequence keeps submission order within a priority (strict FIFO).  Cancelled
 jobs stay in the heap but are skipped lazily on pop, which keeps
 cancellation O(1).
+
+The queue is job-type agnostic: any object with a ``priority`` attribute and
+a ``status`` in :class:`~repro.service.jobs.JobStatus` qualifies (see
+:class:`repro.service.pool.PoolJob`) — :class:`~repro.service.jobs.CleaningJob`
+and the experiment-matrix jobs both ride on it.
 """
 
 from __future__ import annotations
@@ -13,9 +18,9 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
-from typing import List, Optional
+from typing import Any, List, Optional
 
-from repro.service.jobs import CleaningJob, JobStatus
+from repro.service.jobs import JobStatus
 
 
 class QueueClosed(Exception):
@@ -23,7 +28,7 @@ class QueueClosed(Exception):
 
 
 class JobQueue:
-    """Thread-safe priority FIFO queue of :class:`CleaningJob` objects."""
+    """Thread-safe priority FIFO queue of pool-job objects."""
 
     def __init__(self) -> None:
         self._heap: List[tuple] = []
@@ -33,7 +38,7 @@ class JobQueue:
         self._closed = False
 
     # -- producer side ---------------------------------------------------------
-    def put(self, job: CleaningJob) -> None:
+    def put(self, job: Any) -> None:
         with self._not_empty:
             if self._closed:
                 raise QueueClosed("cannot submit to a closed queue")
@@ -47,7 +52,7 @@ class JobQueue:
             self._not_empty.notify_all()
 
     # -- consumer side ---------------------------------------------------------
-    def get(self, timeout: Optional[float] = None) -> Optional[CleaningJob]:
+    def get(self, timeout: Optional[float] = None) -> Optional[Any]:
         """Pop the next runnable job, blocking while the queue is open but empty.
 
         Returns None when the queue is closed and drained (the worker
@@ -64,7 +69,7 @@ class JobQueue:
                 if not self._not_empty.wait(timeout=timeout):
                     return None
 
-    def _pop_runnable(self) -> Optional[CleaningJob]:
+    def _pop_runnable(self) -> Optional[Any]:
         while self._heap:
             _, _, job = heapq.heappop(self._heap)
             if job.status is JobStatus.PENDING:

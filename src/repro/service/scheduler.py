@@ -42,7 +42,7 @@ from repro.service.chunking import (
     clean_chunked,
 )
 from repro.service.jobs import CleaningJob, JobResult, JobStatus
-from repro.service.queue import JobQueue
+from repro.service.pool import WorkerPool
 from repro.service.stats import ServiceStats, StatsCollector
 from repro.sql.database import Database
 
@@ -89,40 +89,25 @@ class CleaningService:
         else:
             self.cache = None
 
-        self._queue = JobQueue()
+        self._pool = WorkerPool(workers, execute=self._run_job)
         self._jobs: List[CleaningJob] = []
-        self._threads: List[threading.Thread] = []
         self._lock = threading.Lock()
         self._stats = StatsCollector()
-        self._shutdown = False
 
     # -- lifecycle -------------------------------------------------------------
     def start(self) -> "CleaningService":
         """Spawn the worker threads (idempotent; submit() calls this lazily)."""
-        with self._lock:
-            if self._shutdown:
-                raise RuntimeError("service has been shut down")
-            while len(self._threads) < self.workers:
-                thread = threading.Thread(
-                    target=self._worker_loop,
-                    name=f"repro-worker-{len(self._threads)}",
-                    daemon=True,
-                )
-                self._threads.append(thread)
-                thread.start()
+        self._pool.start()
         return self
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting jobs; with ``wait`` drain the queue and join workers."""
         with self._lock:
-            if self._shutdown:
+            if self._pool.closed:
                 return
-            self._shutdown = True
-            threads = list(self._threads)
-            self._queue.close()
+            self._pool.shutdown(wait=False)
         if wait:
-            for thread in threads:
-                thread.join()
+            self._pool.shutdown(wait=True)
         if self.cache is not None:
             self.cache.flush()
 
@@ -150,7 +135,7 @@ class CleaningService:
             name=name or table.name or "",
         )
         with self._lock:
-            if self._shutdown:
+            if self._pool.closed:
                 raise RuntimeError("service has been shut down")
             # A new batch (first submission, or everything before it already
             # settled) restarts the throughput wall clock — so idle gaps
@@ -162,10 +147,9 @@ class CleaningService:
                 self._jobs.clear()
             self._jobs.append(job)
             # Enqueue under the lock: shutdown() also takes it before closing
-            # the queue, so a job can never be tracked but unqueued.
-            self._queue.put(job)
+            # the pool, so a job can never be tracked but unqueued.
+            self._pool.submit(job)
         self._stats.record_submitted()
-        self.start()
         return job
 
     def submit_csv(self, path: Union[str, Path], **kwargs) -> CleaningJob:
@@ -212,15 +196,6 @@ class CleaningService:
         return self._stats.snapshot(cache_stats)
 
     # -- execution ---------------------------------------------------------------
-    def _worker_loop(self) -> None:
-        while True:
-            job = self._queue.get()
-            if job is None:
-                return
-            if not job.mark_running():
-                continue  # lost the race with a cancellation
-            self._run_job(job)
-
     def _run_job(self, job: CleaningJob) -> None:
         started = time.perf_counter()
         wait_seconds = started - job.submitted_at

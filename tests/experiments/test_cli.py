@@ -1,0 +1,112 @@
+"""``python -m repro.experiments`` argument handling and golden workflow."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.__main__ import build_parser, main
+
+SCALE = "0.03"
+ARGS_FAST = ["--datasets", "hospital", "--systems", "CleanAgent", "RetClean", "--scale", SCALE]
+
+
+class TestArgumentValidation:
+    def test_unknown_dataset_exits_nonzero_listing_choices(self, capsys):
+        code = main(["table1", "--datasets", "hospitals", "--scale", SCALE])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "hospitals" in captured.err
+        assert "hospital" in captured.err and "movies" in captured.err
+        assert captured.out == ""  # nothing ran
+
+    def test_unknown_system_exits_nonzero_listing_choices(self, capsys):
+        code = main(["table1", "--systems", "Cocoon", "ChatGPT", "--scale", SCALE])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "ChatGPT" in captured.err
+        assert "HoloClean" in captured.err and "Cocoon" in captured.err
+
+    def test_unknown_artifact_rejected_by_argparse(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table9"])
+        assert excinfo.value.code == 2
+
+    def test_refresh_requires_golden(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["matrix", "--refresh"])
+        assert excinfo.value.code == 2
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--workers", "0"])
+
+    def test_parser_exposes_all_artifacts(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for artifact in ("table1", "table2", "table3", "figure-f1", "matrix", "all"):
+            assert artifact in text
+
+
+class TestArtifactOutput:
+    def test_table1_prints_the_table(self, capsys):
+        assert main(["table1"] + ARGS_FAST) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "CleanAgent" in out and "RetClean" in out
+        assert "Cocoon" not in out.split("Paper-reported")[0]
+
+    def test_figure_f1_prints_the_chart(self, capsys):
+        assert main(["figure-f1"] + ARGS_FAST) == 0
+        assert "F1 comparison across systems" in capsys.readouterr().out
+
+    def test_matrix_prints_summary_and_writes_store(self, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        code = main(["matrix", "--workers", "2", "--out", str(out_path)] + ARGS_FAST)
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "matrix:" in captured.out
+        document = json.loads(out_path.read_text())
+        assert document["schema_version"] == 1
+        assert len(document["cells"]) > 0
+
+    def test_matrix_resumes_from_the_store(self, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        assert main(["matrix", "--out", str(out_path)] + ARGS_FAST) == 0
+        capsys.readouterr()
+        assert main(["matrix", "--out", str(out_path)] + ARGS_FAST) == 0
+        assert "0 run" in capsys.readouterr().out
+
+
+class TestGoldenWorkflow:
+    def test_refresh_then_check_then_tamper(self, tmp_path, capsys):
+        golden_path = tmp_path / "GOLDEN.json"
+        refresh = ["matrix", "--golden", "--refresh", "--golden-path", str(golden_path)] + ARGS_FAST
+        assert main(refresh) == 0
+        assert "refreshed" in capsys.readouterr().out
+
+        # The check reruns the config recorded in the corpus, whatever the CLI says.
+        check = ["matrix", "--golden", "--golden-path", str(golden_path), "--workers", "2"]
+        assert main(check) == 0
+        assert "passed" in capsys.readouterr().out
+
+        document = json.loads(golden_path.read_text())
+        cell_id = next(iter(document["cells"]))
+        document["cells"][cell_id]["total_errors"] = 99999
+        golden_path.write_text(json.dumps(document))
+        assert main(check) == 1
+        drift = capsys.readouterr().out
+        assert "drift" in drift and "99999" in drift and cell_id in drift
+
+    def test_check_without_corpus_exits_2(self, tmp_path, capsys):
+        code = main(["matrix", "--golden", "--golden-path", str(tmp_path / "missing.json")])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_check_rejects_explicit_grid_flags(self, capsys):
+        # A --golden check runs the corpus config; restricting it would
+        # silently check something else, so the flags are rejected.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["matrix", "--golden", "--scale", "0.5", "--datasets", "hospital"])
+        assert excinfo.value.code == 2
