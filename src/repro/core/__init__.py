@@ -17,6 +17,7 @@ from repro.core.result import CellRepair, DetectionFinding, OperatorResult, Clea
 from repro.core.context import CleaningConfig, CleaningContext
 from repro.core.hil import HumanInTheLoop, AutoApprove, CallbackReviewer, ReviewDecision
 from repro.core.pipeline import CocoonCleaner, run_operators
+from repro.core.plan import CleaningPlan, PlanExtractionError, PlanStep, extract_plan
 from repro.core.workflow import (
     default_operators,
     ISSUE_ORDER,
@@ -32,6 +33,10 @@ __all__ = [
     "DetectionFinding",
     "OperatorResult",
     "CleaningResult",
+    "CleaningPlan",
+    "PlanStep",
+    "PlanExtractionError",
+    "extract_plan",
     "HumanInTheLoop",
     "AutoApprove",
     "CallbackReviewer",

@@ -93,5 +93,12 @@ class ColumnTypeOperator(CleaningOperator):
         result.repairs = repairs
         result.removed_row_ids = removed
         result.sql = sql
+        result.replay = {
+            "kind": "cast",
+            "target_table": target_table,
+            "column": column_name,
+            "target_type": suggested,
+            "mapping": dict(value_mapping) if isinstance(value_mapping, dict) else {},
+        }
         result.llm_calls = self.take_llm_calls()
         return result

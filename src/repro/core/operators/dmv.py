@@ -86,5 +86,11 @@ class DisguisedMissingValueOperator(CleaningOperator):
         result.repairs = repairs
         result.removed_row_ids = removed
         result.sql = sql
+        result.replay = {
+            "kind": "null_values",
+            "target_table": target_table,
+            "column": column_name,
+            "values": list(dmvs),
+        }
         result.llm_calls = self.take_llm_calls()
         return result

@@ -72,5 +72,10 @@ class DuplicationOperator(CleaningOperator):
         result.repairs = repairs
         result.removed_row_ids = removed
         result.sql = sql
+        result.replay = {
+            "kind": "dedup",
+            "target_table": target_table,
+            "columns": list(data_columns),
+        }
         result.llm_calls = self.take_llm_calls()
         return [result]

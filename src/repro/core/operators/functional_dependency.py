@@ -125,5 +125,12 @@ class FunctionalDependencyOperator(CleaningOperator):
         result.repairs = repairs
         result.removed_row_ids = removed
         result.sql = sql
+        result.replay = {
+            "kind": "fd_map",
+            "target_table": target_table,
+            "determinant": candidate.determinant,
+            "dependent": candidate.dependent,
+            "mapping": dict(mapping),
+        }
         result.llm_calls = self.take_llm_calls()
         return result

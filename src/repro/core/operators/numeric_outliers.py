@@ -88,5 +88,12 @@ class NumericOutlierOperator(CleaningOperator):
         result.repairs = repairs
         result.removed_row_ids = removed
         result.sql = sql
+        result.replay = {
+            "kind": "range",
+            "target_table": target_table,
+            "column": column_name,
+            "low": low,
+            "high": high,
+        }
         result.llm_calls = self.take_llm_calls()
         return result

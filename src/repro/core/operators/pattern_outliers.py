@@ -144,5 +144,12 @@ class PatternOutlierOperator(CleaningOperator):
         result.repairs = repairs
         result.removed_row_ids = removed
         result.sql = sql
+        result.replay = {
+            "kind": "value_map",
+            "target_table": target_table,
+            "column": column_name,
+            "mapping": dict(mapping),
+            "standard_pattern": standard_pattern,
+        }
         result.llm_calls = self.take_llm_calls()
         return result

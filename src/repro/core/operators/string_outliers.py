@@ -129,5 +129,11 @@ class StringOutlierOperator(CleaningOperator):
         result.repairs = repairs
         result.removed_row_ids = removed
         result.sql = sql
+        result.replay = {
+            "kind": "value_map",
+            "target_table": target_table,
+            "column": column_name,
+            "mapping": dict(mapping),
+        }
         result.llm_calls = self.take_llm_calls()
         return result

@@ -90,5 +90,11 @@ class ColumnUniquenessOperator(CleaningOperator):
         result.repairs = repairs
         result.removed_row_ids = removed
         result.sql = sql
+        result.replay = {
+            "kind": "unique",
+            "target_table": target_table,
+            "column": column_name,
+            "order_column": order_column,
+        }
         result.llm_calls = self.take_llm_calls()
         return result

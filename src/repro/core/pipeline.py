@@ -93,6 +93,7 @@ class CocoonCleaner:
             operator_results=operator_results,
             sql_script=self._render_script(base_name, context.sql_statements),
             llm_calls=self.llm.call_count - llm_calls_before,
+            base_table=base_name,
         )
         return result
 

@@ -1,0 +1,299 @@
+"""Cleaning-plan extraction and replay.
+
+A finished :class:`~repro.core.result.CleaningResult` contains more than the
+cleaned cells: every applied operator recorded *what it decided* — the
+old → new value map a column was rewritten with, the type it was cast to,
+the disguised-missing tokens it nulled, the FD correction keyed on the
+determinant, whether duplicates were judged erroneous.  Those decisions are
+the expensive part of a run (each one cost LLM calls); the SQL that applies
+them is cheap and deterministic.
+
+:class:`CleaningPlan` extracts the decisions into an ordered list of
+:class:`PlanStep` objects so they can be *replayed* on new data with zero
+LLM calls — the heart of the ``repro.stream`` incremental engine.  Steps
+split into two classes:
+
+* **row-local** steps (string/pattern maps, DMV nulling, casts, numeric
+  range nulling, FD ``CASE WHEN`` repairs): pure per-row functions.  They
+  replay by executing the operator's original recorded SQL against *any*
+  subset of rows — running them on a micro-batch gives exactly the rows the
+  whole-table run would have produced for those rows.
+* **table-level** steps (duplicate removal, key uniqueness): they reason
+  across rows, so replay needs cross-batch state.  The plan carries their
+  parameters (partition columns, keep-order); :mod:`repro.stream.state`
+  maintains the matching incremental state.
+
+The canonical operator order guarantees row-local steps form a prefix of the
+plan (FDs run before duplication/uniqueness); :func:`CleaningPlan.validate`
+enforces it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.context import ROW_ID_COLUMN
+from repro.core.result import CleaningResult
+from repro.core.sqlgen import (
+    case_when_mapping,
+    case_when_null,
+    case_when_threshold,
+    cast_expression,
+    conditional_update_expression,
+    select_with_replacements,
+)
+from repro.dataframe.table import Table
+from repro.sql.database import Database
+
+#: Step kinds whose effect is a pure per-row function.
+ROW_LOCAL_KINDS = frozenset({"value_map", "null_values", "cast", "range", "fd_map"})
+#: Step kinds that reason across rows and need cross-batch state to replay.
+TABLE_LEVEL_KINDS = frozenset({"dedup", "unique"})
+
+
+class PlanExtractionError(ValueError):
+    """The operator results cannot be turned into a replayable plan."""
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One applied cleaning decision, replayable without an LLM."""
+
+    kind: str
+    issue_type: str
+    target: str
+    sql: str
+    target_table: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def row_local(self) -> bool:
+        return self.kind in ROW_LOCAL_KINDS
+
+    def replacement_expression(self) -> str:
+        """Rebuild the SQL expression this step rewrites its column with.
+
+        Uses the same :mod:`repro.core.sqlgen` builders the operator used, fed
+        from the recorded payload, so a regenerated statement is semantically
+        identical to the original one — but free to read from / write to any
+        table, which is what lets replay re-chain steps after a partial
+        re-plan swapped some of them out.
+        """
+        payload = self.payload
+        if self.kind == "value_map":
+            return case_when_mapping(payload["column"], payload["mapping"])
+        if self.kind == "null_values":
+            return case_when_null(payload["column"], payload["values"])
+        if self.kind == "cast":
+            return cast_expression(
+                payload["column"], payload["target_type"], payload.get("mapping") or None
+            )
+        if self.kind == "range":
+            return case_when_threshold(payload["column"], payload.get("low"), payload.get("high"))
+        if self.kind == "fd_map":
+            return conditional_update_expression(
+                payload["dependent"], payload["determinant"], payload["mapping"]
+            )
+        raise PlanExtractionError(f"Step kind {self.kind!r} has no row-local expression")
+
+    @property
+    def rewritten_column(self) -> str:
+        """The data column a row-local step rewrites."""
+        if self.kind == "fd_map":
+            return str(self.payload["dependent"])
+        return str(self.payload["column"])
+
+    def build_sql(self, source_table: str, target_table: str, columns: List[str]) -> str:
+        """Regenerate this row-local step as a statement reading ``source_table``."""
+        return select_with_replacements(
+            source_table,
+            target_table,
+            [ROW_ID_COLUMN] + list(columns),
+            {self.rewritten_column: self.replacement_expression()},
+            comments=[f"Replayed {self.issue_type} step for {self.target}."],
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "issue_type": self.issue_type,
+            "target": self.target,
+            "sql": self.sql,
+            "target_table": self.target_table,
+            "payload": dict(self.payload),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PlanStep":
+        return cls(
+            kind=str(data["kind"]),
+            issue_type=str(data["issue_type"]),
+            target=str(data["target"]),
+            sql=str(data["sql"]),
+            target_table=str(data["target_table"]),
+            payload=dict(data.get("payload") or {}),
+        )
+
+
+@dataclass
+class CleaningPlan:
+    """The ordered, LLM-free replayable core of one cleaning run."""
+
+    base_table: str
+    column_names: List[str]
+    steps: List[PlanStep] = field(default_factory=list)
+    llm_calls_invested: int = 0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- structure ---------------------------------------------------------------
+    def validate(self) -> None:
+        """Row-local steps must form a prefix; kinds must be known."""
+        seen_table_level = False
+        for step in self.steps:
+            if step.kind not in ROW_LOCAL_KINDS and step.kind not in TABLE_LEVEL_KINDS:
+                raise PlanExtractionError(f"Unknown plan step kind {step.kind!r}")
+            if step.row_local and seen_table_level:
+                raise PlanExtractionError(
+                    f"Row-local step {step.kind}:{step.target} appears after a table-level "
+                    "step; the replay prefix invariant is broken"
+                )
+            if not step.row_local:
+                seen_table_level = True
+
+    @property
+    def row_local_steps(self) -> List[PlanStep]:
+        return [s for s in self.steps if s.row_local]
+
+    @property
+    def table_level_steps(self) -> List[PlanStep]:
+        return [s for s in self.steps if not s.row_local]
+
+    def steps_for_column(self, column: str) -> List[PlanStep]:
+        """Row-local steps targeting one column (FD steps target a pair)."""
+        return [s for s in self.row_local_steps if s.target == column]
+
+    def mapped_values(self, column: str) -> List[str]:
+        """All old values this plan knows how to rewrite/null for ``column``.
+
+        The drift detector uses this as the plan's *coverage*: a batch whose
+        dirty values fall outside it cannot be repaired by replay alone.
+        """
+        known: List[str] = []
+        for step in self.row_local_steps:
+            if step.target != column:
+                continue
+            if step.kind in ("value_map", "cast"):
+                known.extend((step.payload.get("mapping") or {}).keys())
+            elif step.kind == "null_values":
+                known.extend(step.payload.get("values") or [])
+        return known
+
+    # -- replay -------------------------------------------------------------------
+    def replay_row_local(self, batch_with_ids: Table, database: Optional[Database] = None) -> Table:
+        """Run the row-local prefix on a batch, returning the rewritten rows.
+
+        ``batch_with_ids`` must carry the hidden row-id column and the plan's
+        data columns.  The batch is registered in a scratch database and each
+        step executes as a regenerated ``CREATE OR REPLACE TABLE ... AS
+        SELECT`` reading its predecessor's output.  Every step is a pure
+        per-row function, so running the chain on any subset of rows yields
+        exactly those rows of the whole-table chain.
+        """
+        expected = [ROW_ID_COLUMN] + list(self.column_names)
+        if batch_with_ids.column_names != expected:
+            raise ValueError(
+                f"Batch columns {batch_with_ids.column_names} do not match plan columns {expected}"
+            )
+        db = database if database is not None else Database()
+        base = f"{self.base_table}__replay"
+        db.register(batch_with_ids.rename(base), replace=True)
+        current = base
+        for index, step in enumerate(self.row_local_steps, start=1):
+            target = f"{base}_step{index}"
+            db.sql(step.build_sql(current, target, self.column_names))
+            current = target
+        return db.table(current)
+
+    # -- serialisation ---------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "base_table": self.base_table,
+            "column_names": list(self.column_names),
+            "llm_calls_invested": self.llm_calls_invested,
+            "steps": [step.to_dict() for step in self.steps],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CleaningPlan":
+        return cls(
+            base_table=str(data["base_table"]),
+            column_names=list(data["column_names"]),
+            steps=[PlanStep.from_dict(s) for s in data.get("steps", [])],
+            llm_calls_invested=int(data.get("llm_calls_invested", 0)),
+        )
+
+    def summary_text(self) -> str:
+        lines = [f"Cleaning plan for {self.base_table}: {len(self.steps)} steps"]
+        for step in self.steps:
+            scope = "row-local" if step.row_local else "table-level"
+            lines.append(f"  [{scope}] {step.issue_type}: {step.target} ({step.kind})")
+        return "\n".join(lines)
+
+
+def steps_from_operator_results(operator_results: List[Any]) -> List[PlanStep]:
+    """Convert applied operator results into plan steps, in execution order.
+
+    Raises :class:`PlanExtractionError` when an applied operator recorded no
+    replay payload — every shipped operator records one, so that indicates a
+    custom operator that predates the plan layer.
+    """
+    steps: List[PlanStep] = []
+    for op in operator_results:
+        if not op.applied:
+            continue
+        if op.replay is None:
+            raise PlanExtractionError(
+                f"Applied operator {op.issue_type}:{op.target} recorded no replay payload"
+            )
+        payload = dict(op.replay)
+        try:
+            kind = payload.pop("kind")
+            target_table = payload.pop("target_table")
+        except KeyError as exc:
+            raise PlanExtractionError(
+                f"Replay payload of {op.issue_type}:{op.target} is missing {exc}"
+            ) from None
+        steps.append(
+            PlanStep(
+                kind=str(kind),
+                issue_type=op.issue_type,
+                target=op.target,
+                sql=op.sql or "",
+                target_table=str(target_table),
+                payload=payload,
+            )
+        )
+    return steps
+
+
+def extract_plan(result: CleaningResult) -> CleaningPlan:
+    """Extract the replayable plan from a finished cleaning run.
+
+    Only *applied* operator results contribute steps; detections that were
+    rejected (by the model or the reviewer) or skipped carry no replay
+    payload.
+    """
+    if not result.base_table:
+        raise PlanExtractionError(
+            "CleaningResult.base_table is empty; run the table through CocoonCleaner.clean "
+            "(or populate base_table) before extracting a plan"
+        )
+    return CleaningPlan(
+        base_table=result.base_table,
+        column_names=[c for c in result.dirty_table.column_names if c != ROW_ID_COLUMN],
+        steps=steps_from_operator_results(result.operator_results),
+        llm_calls_invested=result.llm_calls,
+    )

@@ -48,6 +48,10 @@ class OperatorResult:
     sql: Optional[str] = None
     skipped_reason: Optional[str] = None
     llm_calls: int = 0
+    # Structured description of the applied decision for LLM-free replay:
+    # a dict with at least "kind" and "target_table" keys (see repro.core.plan).
+    # None for skipped/rejected results, which have nothing to replay.
+    replay: Optional[Dict[str, Any]] = None
 
     @property
     def applied(self) -> bool:
@@ -64,6 +68,9 @@ class CleaningResult:
     operator_results: List[OperatorResult] = field(default_factory=list)
     sql_script: str = ""
     llm_calls: int = 0
+    # Name the table was registered under in the cleaning database; the
+    # recorded SQL references it, so plan replay needs it (repro.core.plan).
+    base_table: str = ""
 
     @property
     def repairs(self) -> List[CellRepair]:

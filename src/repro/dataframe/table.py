@@ -2,7 +2,19 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.dataframe.column import Column
 from repro.dataframe.schema import ColumnType, is_null
@@ -187,13 +199,67 @@ class Table:
         return groups
 
     def concat_rows(self, other: "Table") -> "Table":
+        return self.concat(other, check_types=False)
+
+    def concat(self, other: "Table", check_types: bool = True) -> "Table":
+        """Return a table with ``other``'s rows appended below this table's.
+
+        The schemas must match: same column names in the same order, and —
+        unless ``check_types`` is False — the same column types.  Column
+        types are preserved (never re-inferred from the combined values),
+        so concatenating typed micro-batches cannot silently widen a column.
+        """
         if self.column_names != other.column_names:
-            raise ValueError("Cannot concatenate tables with different columns")
+            raise ValueError(
+                f"Cannot concatenate tables with different columns: "
+                f"{self.column_names} vs {other.column_names}"
+            )
+        if check_types:
+            mismatched = [
+                f"{a.name} ({a.dtype} vs {b.dtype})"
+                for a, b in zip(self.columns, other.columns)
+                if a.dtype is not b.dtype
+            ]
+            if mismatched:
+                raise ValueError(
+                    f"Cannot concatenate tables with mismatched column types: {', '.join(mismatched)}"
+                )
         columns = [
             Column(a.name, list(a.values) + list(b.values), a.dtype)
             for a, b in zip(self.columns, other.columns)
         ]
         return Table(self.name, columns)
+
+    def append_rows(self, rows: Iterable[Union[Mapping[str, Any], Sequence[Any]]]) -> "Table":
+        """Return a table with ``rows`` appended (schema-checked, type-preserving).
+
+        Each row is either a sequence matching the column order or a mapping
+        keyed by column name (missing keys become NULL, unknown keys raise).
+        Column types are kept as declared.
+        """
+        names = self.column_names
+        name_set = set(names)
+        new_values: List[List[Any]] = [list(c.values) for c in self.columns]
+        for position, row in enumerate(rows):
+            if isinstance(row, Mapping):
+                unknown = [k for k in row if k not in name_set]
+                if unknown:
+                    raise ValueError(
+                        f"Row {position} has keys {unknown} not in table columns {names}"
+                    )
+                seq = [row.get(n) for n in names]
+            else:
+                seq = list(row)
+                if len(seq) != len(names):
+                    raise ValueError(
+                        f"Row {position} has width {len(seq)}, table has {len(names)} columns"
+                    )
+            for j, value in enumerate(seq):
+                new_values[j].append(value)
+        return Table(
+            self.name,
+            [Column(c.name, values, c.dtype) for c, values in zip(self.columns, new_values)],
+        )
 
     def join(self, other: "Table", on: Sequence[str], how: str = "inner") -> "Table":
         """Hash join on equality of the ``on`` columns.

@@ -18,9 +18,14 @@ from repro.profiling.fd import (
     fd_violation_groups,
 )
 from repro.profiling.duplicates import duplicate_row_count, duplicate_row_samples
+from repro.profiling.incremental import IncrementalDuplicateState, IncrementalFDState
+from repro.profiling.mergeable import MergeableColumnProfile
 from repro.profiling.patterns import pattern_counts, match_fraction
 
 __all__ = [
+    "IncrementalDuplicateState",
+    "IncrementalFDState",
+    "MergeableColumnProfile",
     "ColumnProfile",
     "profile_column",
     "TableProfile",

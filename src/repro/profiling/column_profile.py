@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple
 
@@ -54,7 +55,9 @@ def profile_column(column: Column, max_values: int = 1000) -> ColumnProfile:
     if numeric:
         minimum = min(numeric)
         maximum = max(numeric)
-        mean = sum(float(v) for v in numeric) / len(numeric)
+        # fsum: the correctly-rounded true sum, so the mean is independent of
+        # accumulation order — the property MergeableColumnProfile relies on.
+        mean = math.fsum(float(v) for v in numeric) / len(numeric)
     elif non_null:
         try:
             as_strings = [str(v) for v in non_null]

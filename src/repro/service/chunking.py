@@ -31,6 +31,7 @@ generously (hundreds of rows, not tens).
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
@@ -52,6 +53,13 @@ HILFactory = Callable[[], HumanInTheLoop]
 
 class ChunkMergeError(RuntimeError):
     """Cleaned chunks cannot be merged back into one coherent table."""
+
+
+#: Below this chunk size the per-chunk value statistics stop being
+#: representative of the whole table (see the module docstring: hundreds of
+#: rows, not tens) and chunked output can silently diverge from whole-table
+#: mode.  ``clean_chunked`` warns when asked to go smaller.
+SAFE_CHUNK_ROWS_FLOOR = 100
 
 
 @dataclass
@@ -128,9 +136,37 @@ def clean_chunked(
     """
     if chunk_rows < 1:
         raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    if chunk_rows < SAFE_CHUNK_ROWS_FLOOR and table.num_rows > chunk_rows:
+        warnings.warn(
+            f"chunk_rows={chunk_rows} is below the statistically safe floor of "
+            f"{SAFE_CHUNK_ROWS_FLOOR} rows; per-chunk value statistics may not be "
+            "representative and chunked output can diverge from whole-table cleaning "
+            "(see repro.service.chunking module docstring)",
+            UserWarning,
+            stacklevel=2,
+        )
     llm_factory = llm_factory or SimulatedSemanticLLM
     config = config or CleaningConfig()
     hil_factory = hil_factory or AutoApprove
+
+    if table.num_rows == 0:
+        # Zero rows means zero chunks: nothing to profile, prompt or repair.
+        # Return an empty result directly instead of bouncing through the
+        # whole-table pipeline fallback.
+        return ChunkedCleaningResult(
+            table_name=table.name,
+            dirty_table=table,
+            cleaned_table=table.copy(),
+            operator_results=[],
+            sql_script=(
+                f"-- Cocoon chunked cleaning pipeline for table {table.name}\n"
+                "-- The table has no rows; no cleaning steps were necessary.\n"
+            ),
+            llm_calls=0,
+            chunk_rows=chunk_rows,
+            chunk_count=0,
+            parallel_workers=0,
+        )
 
     bounds = _chunk_bounds(table.num_rows, chunk_rows)
     if len(bounds) <= 1:

@@ -1,0 +1,207 @@
+"""Distribution-drift detection over mergeable column profiles.
+
+Plan replay is only sound while new data looks like the data the plan was
+derived from: the cached value maps cover the dirty values that actually
+arrive, the canonical representations are still the majority ones, the
+numeric ranges still describe the column.  The drift detector watches the
+incremental profiles for exactly those failure modes and reports a
+per-column distance built from four signals:
+
+* **frequency shift** — total-variation distance between the top-value
+  distributions at plan time and now (a flipped majority can invalidate the
+  canonical-representation choices);
+* **null shift** — absolute change of the null fraction;
+* **pattern shift** — total-variation distance between the character-class
+  *shape* mixes (``\\d{5}`` vs ``\\d{5}-\\d{4}`` style signatures from
+  :func:`repro.llm.semantic.value_shape`), catching format changes that
+  value-level counts miss;
+* **new-value mass** — the fraction of current non-null occurrences whose
+  value was never seen at plan time, the direct measure of replay coverage.
+
+A column whose weighted distance crosses ``DriftConfig.threshold`` is
+*drifted*; the streaming engine then re-prompts only those columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.llm.semantic import value_shape
+from repro.profiling.mergeable import MergeableColumnProfile
+
+
+@dataclass
+class DriftConfig:
+    """Knobs of the drift detector."""
+
+    # Weighted distance above which a column counts as drifted.
+    threshold: float = 0.25
+    # How many top values per side enter the frequency comparison.
+    top_k: int = 20
+    # Signal weights (normalised internally).
+    weight_frequency: float = 1.0
+    weight_null: float = 1.0
+    weight_pattern: float = 1.0
+    weight_new_values: float = 1.0
+    # Below this many cumulative rows the detector stays silent: micro-batch
+    # statistics are too noisy to re-prompt on.
+    min_rows: int = 30
+    # Columns whose values are (nearly) all distinct — identifiers, free
+    # text — never settle: every batch brings new values by construction.
+    # Above this unique ratio a column is exempt from drift, mirroring the
+    # free-text skip of the string-outlier operator.
+    max_unique_ratio: float = 0.9
+
+
+@dataclass
+class ColumnDrift:
+    """Per-column drift assessment."""
+
+    column: str
+    distance: float
+    frequency_shift: float
+    null_shift: float
+    pattern_shift: float
+    new_value_mass: float
+    drifted: bool
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "column": self.column,
+            "distance": round(self.distance, 6),
+            "frequency_shift": round(self.frequency_shift, 6),
+            "null_shift": round(self.null_shift, 6),
+            "pattern_shift": round(self.pattern_shift, 6),
+            "new_value_mass": round(self.new_value_mass, 6),
+            "drifted": self.drifted,
+        }
+
+
+def _top_distribution(profile: MergeableColumnProfile, top_k: int) -> Dict[str, float]:
+    total = sum(count for _, count in profile.counts.most_common(top_k))
+    if not total:
+        return {}
+    return {value: count / total for value, count in profile.counts.most_common(top_k)}
+
+
+def _shape_distribution(profile: MergeableColumnProfile) -> Dict[str, float]:
+    shapes: Dict[str, int] = {}
+    total = 0
+    for value, count in profile.counts.items():
+        shape = value_shape(value)
+        shapes[shape] = shapes.get(shape, 0) + count
+        total += count
+    if not total:
+        return {}
+    return {shape: count / total for shape, count in shapes.items()}
+
+
+def _total_variation(a: Dict[str, float], b: Dict[str, float]) -> float:
+    if not a and not b:
+        return 0.0
+    keys = set(a) | set(b)
+    return 0.5 * sum(abs(a.get(k, 0.0) - b.get(k, 0.0)) for k in keys)
+
+
+def _null_fraction(profile: MergeableColumnProfile) -> float:
+    return profile.null_count / profile.row_count if profile.row_count else 0.0
+
+
+def _unique_ratio(profile: MergeableColumnProfile) -> float:
+    non_null = profile.non_null_count
+    return len(profile.counts) / non_null if non_null else 0.0
+
+
+def _new_value_mass(
+    baseline: MergeableColumnProfile, current: MergeableColumnProfile
+) -> float:
+    total = current.non_null_count
+    if not total:
+        return 0.0
+    unseen = sum(
+        count for value, count in current.counts.items() if value not in baseline.counts
+    )
+    return unseen / total
+
+
+def profile_distance(
+    baseline: MergeableColumnProfile,
+    current: MergeableColumnProfile,
+    config: Optional[DriftConfig] = None,
+) -> ColumnDrift:
+    """Weighted drift distance between a plan-time profile and the present one."""
+    config = config or DriftConfig()
+    frequency = _total_variation(
+        _top_distribution(baseline, config.top_k), _top_distribution(current, config.top_k)
+    )
+    null_shift = abs(_null_fraction(baseline) - _null_fraction(current))
+    pattern = _total_variation(_shape_distribution(baseline), _shape_distribution(current))
+    new_mass = _new_value_mass(baseline, current)
+    weights = (
+        config.weight_frequency,
+        config.weight_null,
+        config.weight_pattern,
+        config.weight_new_values,
+    )
+    total_weight = sum(weights) or 1.0
+    distance = (
+        config.weight_frequency * frequency
+        + config.weight_null * null_shift
+        + config.weight_pattern * pattern
+        + config.weight_new_values * new_mass
+    ) / total_weight
+    key_like = _unique_ratio(baseline) > config.max_unique_ratio or (
+        _unique_ratio(current) > config.max_unique_ratio
+    )
+    return ColumnDrift(
+        column=current.name,
+        distance=distance,
+        frequency_shift=frequency,
+        null_shift=null_shift,
+        pattern_shift=pattern,
+        new_value_mass=new_mass,
+        drifted=(
+            not key_like
+            and current.row_count >= config.min_rows
+            and distance > config.threshold
+        ),
+    )
+
+
+class DriftDetector:
+    """Tracks plan-time baselines and assesses the live profiles against them."""
+
+    def __init__(self, config: Optional[DriftConfig] = None):
+        self.config = config or DriftConfig()
+        self._baselines: Dict[str, MergeableColumnProfile] = {}
+        self.assessments: List[List[ColumnDrift]] = []
+
+    @property
+    def has_baseline(self) -> bool:
+        return bool(self._baselines)
+
+    def set_baseline(self, profiles: Dict[str, MergeableColumnProfile]) -> None:
+        """Snapshot the profiles the current plan was derived from.
+
+        Stores merged *copies* (merge with an empty profile), so the live
+        accumulators can keep updating without mutating the baseline.
+        """
+        for name, profile in profiles.items():
+            empty = MergeableColumnProfile(profile.name, profile.dtype)
+            self._baselines[name] = profile.merge(empty)
+
+    def assess(self, profiles: Dict[str, MergeableColumnProfile]) -> List[ColumnDrift]:
+        """Compare live profiles to the baselines; records and returns the result."""
+        if not self._baselines:
+            raise RuntimeError("DriftDetector.assess called before set_baseline")
+        drifts = [
+            profile_distance(self._baselines[name], profile, self.config)
+            for name, profile in profiles.items()
+            if name in self._baselines
+        ]
+        self.assessments.append(drifts)
+        return drifts
+
+    def drifted_columns(self, profiles: Dict[str, MergeableColumnProfile]) -> List[str]:
+        return [d.column for d in self.assess(profiles) if d.drifted]

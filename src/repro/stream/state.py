@@ -1,0 +1,210 @@
+"""Cross-batch state for table-level plan steps (dedup, uniqueness).
+
+Row-local plan steps replay on a micro-batch in isolation; duplicate removal
+and key-uniqueness reason *across* rows, so their streaming replay keeps
+state between batches.  This module mirrors the SQL the batch operators emit
+— ``QUALIFY ROW_NUMBER() OVER (PARTITION BY ... ORDER BY ...) = 1`` — cell
+for cell:
+
+* partition keys use the executor's ``_hashable`` normalisation (NULL folds
+  to one key; unhashable values stringify);
+* keep-order uses the executor's ``_sort_key`` (NULLs last, numerics by
+  value, strings lexicographic, DESC inverted) with Python's stable sort, so
+  ties keep the earliest row — exactly what ``ORDER BY`` + stable sort does
+  in the executor;
+* output preserves input row order, like QUALIFY filtering a SELECT.
+
+Keep-first steps (dedup; uniqueness ordered by arrival) are *prefix-stable*:
+a row once emitted can never lose, so the fold is incremental and O(batch).
+Keep-best steps (uniqueness with ``ORDER BY col DESC``) are not — a later
+row can beat an already-emitted one, which surfaces as a **retraction** in
+the batch delta, the streaming-systems answer to non-monotonic operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.plan import PlanStep
+# The QUALIFY replay must agree with the SQL executor bit for bit, so it
+# borrows the executor's own key normalisers rather than re-deriving them.
+from repro.sql.executor import _hashable, _sort_key
+
+Row = Tuple[Any, ...]  # data-column values, in plan column order
+
+
+@dataclass
+class TableLevelDelta:
+    """What one batch did to the cumulative cleaned output."""
+
+    kept: List[Tuple[int, Row]] = field(default_factory=list)
+    dropped_row_ids: List[int] = field(default_factory=list)
+    #: Previously emitted rows that a later row displaced (keep-best only).
+    retracted_row_ids: List[int] = field(default_factory=list)
+
+
+class TableLevelState:
+    """Streaming fold of a plan's table-level steps over arriving rows.
+
+    ``apply_batch`` consumes rows *after* row-local replay, in row-id order,
+    and returns the delta against the cumulative survivor set.  The
+    invariant (pinned by the parity tests): after any sequence of batches,
+    the surviving ``(row_id, row)`` pairs equal
+    :func:`table_level_survivors` — and therefore the QUALIFY SQL — applied
+    to the concatenation of all batches.
+    """
+
+    def __init__(self, steps: Sequence[PlanStep], column_names: Sequence[str]):
+        for step in steps:
+            if step.row_local:
+                raise ValueError(f"Step {step.kind}:{step.target} is row-local")
+        self.steps = list(steps)
+        self.column_names = list(column_names)
+        self._column_index = {name: i for i, name in enumerate(self.column_names)}
+        self._has_keep_best = any(self._order_spec(s)[1] is not None for s in self.steps)
+        # Keep-first fast path: per step, the set of partition keys already won.
+        self._seen: List[Dict[Tuple, int]] = [dict() for _ in self.steps]
+        # Slow path (keep-best): full post-row-local history to re-fold.
+        self._history: List[Tuple[int, Row]] = []
+        self._survivors: Dict[int, Row] = {}
+
+    # -- step decoding --------------------------------------------------------------
+    def _order_spec(self, step: PlanStep) -> Tuple[List[int], Optional[Tuple[int, bool]]]:
+        """(partition column indexes, (order column index, descending) or None).
+
+        ``None`` order means "first arrival wins" (ORDER BY the hidden row
+        id), which every dedup step and order-less uniqueness step uses.
+        """
+        if step.kind == "dedup":
+            cols = step.payload.get("columns") or self.column_names
+            return [self._column_index[c] for c in cols], None
+        if step.kind == "unique":
+            key = [self._column_index[step.payload["column"]]]
+            order_column = step.payload.get("order_column")
+            if order_column is None:
+                return key, None
+            return key, (self._column_index[order_column], True)
+        raise ValueError(f"Unknown table-level step kind {step.kind!r}")
+
+    # -- folding ----------------------------------------------------------------------
+    def apply_batch(self, rows: Sequence[Tuple[int, Row]]) -> TableLevelDelta:
+        """Fold one batch of (row_id, values) pairs; row ids must be increasing."""
+        if not self.steps:
+            delta = TableLevelDelta(kept=list(rows))
+            for row_id, row in rows:
+                self._survivors[row_id] = row
+            return delta
+        self._history.extend(rows)
+        if not self._has_keep_best:
+            return self._apply_keep_first(rows)
+        return self._refold(rows)
+
+    def _apply_keep_first(self, rows: Sequence[Tuple[int, Row]]) -> TableLevelDelta:
+        delta = TableLevelDelta()
+        key_indexes = [self._order_spec(step)[0] for step in self.steps]
+        for row_id, row in rows:
+            won = True
+            # A row claims each step's key the moment it wins *that* step:
+            # a row kept by step 1 but dropped by step 2 still shadows later
+            # rows at step 1, exactly as the chained QUALIFY statements do.
+            for key_idx, seen in zip(key_indexes, self._seen):
+                key = tuple(_hashable(row[i]) for i in key_idx)
+                if key in seen:
+                    won = False
+                    break
+                seen[key] = row_id
+            if won:
+                self._survivors[row_id] = row
+                delta.kept.append((row_id, row))
+            else:
+                delta.dropped_row_ids.append(row_id)
+        return delta
+
+    def _refold(self, batch: Sequence[Tuple[int, Row]]) -> TableLevelDelta:
+        """Recompute survivors over the full history (keep-best steps).
+
+        Non-monotonic steps make incremental-only folding impossible without
+        keeping the full candidate set anyway, so correctness wins: re-fold
+        and report the delta.  ``kept`` may include *old* row ids when a
+        displacement upstream lets a previously shadowed row resurface in a
+        later step; ``retracted_row_ids`` lists previously emitted rows that
+        vanished; ``dropped_row_ids`` lists this batch's rows that never
+        surfaced.
+        """
+        previous = self._survivors
+        new_survivors = dict(
+            table_level_survivors(self.steps, self._history, self.column_names)
+        )
+        delta = TableLevelDelta()
+        for row_id in sorted(new_survivors):
+            if row_id not in previous:
+                delta.kept.append((row_id, new_survivors[row_id]))
+        delta.retracted_row_ids = [
+            row_id for row_id in sorted(previous) if row_id not in new_survivors
+        ]
+        delta.dropped_row_ids = [
+            row_id for row_id, _ in batch if row_id not in new_survivors
+        ]
+        self._survivors = new_survivors
+        return delta
+
+    # -- read side ----------------------------------------------------------------------
+    @property
+    def survivors(self) -> Dict[int, Row]:
+        return dict(self._survivors)
+
+    def reset(self) -> None:
+        """Forget everything (used when a re-plan rebuilds the output)."""
+        self._seen = [dict() for _ in self.steps]
+        self._history = []
+        self._survivors = {}
+
+
+def table_level_survivors(
+    steps: Sequence[PlanStep],
+    rows: Sequence[Tuple[int, Row]],
+    column_names: Sequence[str],
+) -> List[Tuple[int, Row]]:
+    """Batch oracle: apply the table-level steps to ``rows`` in one pass.
+
+    Semantically identical to chaining the operators' QUALIFY statements on a
+    table containing ``rows`` (in row-id order) — used by the streaming fold
+    as its keep-best path and by tests as the reference implementation.
+    """
+    column_index = {name: i for i, name in enumerate(column_names)}
+    current = list(rows)
+    for step in steps:
+        if step.kind == "dedup":
+            cols = step.payload.get("columns") or list(column_names)
+            key_idx = [column_index[c] for c in cols]
+            order: Optional[Tuple[int, bool]] = None
+        elif step.kind == "unique":
+            key_idx = [column_index[step.payload["column"]]]
+            order_column = step.payload.get("order_column")
+            order = (column_index[order_column], True) if order_column is not None else None
+        else:
+            raise ValueError(f"Unknown table-level step kind {step.kind!r}")
+        winners: Dict[Tuple, Tuple[int, Tuple[int, Row]]] = {}
+        for position, (row_id, row) in enumerate(current):
+            key = tuple(_hashable(row[i]) for i in key_idx)
+            if order is None:
+                # ORDER BY row id: first arrival wins.
+                if key not in winners:
+                    winners[key] = (position, (row_id, row))
+                continue
+            order_idx, descending = order
+            sort_key = _sort_key(row[order_idx], descending)
+            incumbent = winners.get(key)
+            if incumbent is None:
+                winners[key] = (position, (row_id, row))
+                continue
+            incumbent_position, (inc_id, inc_row) = incumbent
+            incumbent_key = _sort_key(inc_row[order_idx], descending)
+            # Strict improvement required: stable sort keeps the earlier row
+            # on ties, and rows arrive in row-id order.
+            if sort_key < incumbent_key:
+                winners[key] = (position, (row_id, row))
+        keep_positions = {position for position, _ in winners.values()}
+        current = [entry for position, entry in enumerate(current) if position in keep_positions]
+    return current

@@ -115,6 +115,45 @@ class TestTableTransforms:
         with pytest.raises(ValueError):
             people_table.concat_rows(people_table.drop(["city"]))
 
+    def test_concat_preserves_types(self):
+        a = Table("t", [Column("x", ["1", "2"], ColumnType.VARCHAR)])
+        b = Table("t", [Column("x", ["3"], ColumnType.VARCHAR)])
+        merged = a.concat(b)
+        assert merged.column("x").values == ["1", "2", "3"]
+        assert merged.column("x").dtype is ColumnType.VARCHAR
+
+    def test_concat_rejects_type_mismatch(self):
+        a = Table("t", [Column("x", [1, 2], ColumnType.INTEGER)])
+        b = Table("t", [Column("x", ["3"], ColumnType.VARCHAR)])
+        with pytest.raises(ValueError, match="mismatched column types"):
+            a.concat(b)
+        unchecked = a.concat(b, check_types=False)
+        assert unchecked.num_rows == 3
+
+    def test_concat_rejects_column_mismatch(self, people_table):
+        with pytest.raises(ValueError, match="different columns"):
+            people_table.concat(people_table.select(["age", "name", "city", "score"]))
+
+    def test_append_rows_sequences(self, people_table):
+        appended = people_table.append_rows([["Fay", 22, "SF", 4.5], ["Gil", None, "NY", None]])
+        assert appended.num_rows == 7
+        assert appended.cell(5, "name") == "Fay"
+        assert appended.cell(6, "age") is None
+        assert people_table.num_rows == 5  # original untouched
+        for before, after in zip(people_table.columns, appended.columns):
+            assert before.dtype is after.dtype
+
+    def test_append_rows_mappings(self, people_table):
+        appended = people_table.append_rows([{"name": "Hao", "age": 33}])
+        assert appended.cell(5, "name") == "Hao"
+        assert appended.cell(5, "city") is None
+
+    def test_append_rows_rejects_bad_width_and_keys(self, people_table):
+        with pytest.raises(ValueError, match="width"):
+            people_table.append_rows([["only", "three", "cells"]])
+        with pytest.raises(ValueError, match="keys"):
+            people_table.append_rows([{"name": "x", "nope": 1}])
+
     def test_inner_join(self):
         left = Table.from_dict("l", {"k": [1, 2, 3], "v": ["a", "b", "c"]})
         right = Table.from_dict("r", {"k": [2, 3, 4], "w": ["x", "y", "z"]})

@@ -1,0 +1,134 @@
+"""Property tests: mergeable/incremental profiling equals batch profiling.
+
+The streaming layer's correctness rests on one invariant: folding a column
+(or table) into the incremental accumulators batch by batch — in row order,
+under *any* partitioning — produces exactly what the batch profilers compute
+on the whole input.  Hypothesis drives arbitrary values and arbitrary split
+points through both paths and requires bit-identical results, including
+float means and frequency tie-break order.
+"""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dataframe import Column, ColumnType, Table
+from repro.profiling import (
+    IncrementalDuplicateState,
+    IncrementalFDState,
+    MergeableColumnProfile,
+    discover_fds,
+    duplicate_row_count,
+    duplicate_row_samples,
+    profile_column,
+)
+
+cell_text = st.text(
+    alphabet=string.ascii_letters + string.digits + " .-_'",
+    min_size=0,
+    max_size=8,
+)
+mixed_value = st.one_of(
+    st.none(),
+    cell_text,
+    st.integers(min_value=-10_000, max_value=10_000),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    st.booleans(),
+)
+# Small alphabets so duplicates and near-FDs actually occur.
+categorical_value = st.one_of(st.none(), st.sampled_from(["a", "b", "c", "aa", "B"]))
+
+
+@st.composite
+def values_and_cuts(draw, value=mixed_value, max_size=30):
+    values = draw(st.lists(value, min_size=0, max_size=max_size))
+    n_cuts = draw(st.integers(min_value=0, max_value=4))
+    cuts = sorted(draw(st.lists(st.integers(min_value=0, max_value=len(values)),
+                                min_size=n_cuts, max_size=n_cuts)))
+    return values, cuts
+
+
+def partitions(values, cuts):
+    bounds = [0] + list(cuts) + [len(values)]
+    return [values[a:b] for a, b in zip(bounds, bounds[1:])]
+
+
+class TestMergeableColumnProfile:
+    @given(values_and_cuts())
+    @settings(max_examples=120, deadline=None)
+    def test_update_over_any_partitioning_equals_batch(self, data):
+        values, cuts = data
+        column = Column("c", values, ColumnType.VARCHAR)
+        incremental = MergeableColumnProfile("c", column.dtype)
+        for part in partitions(values, cuts):
+            incremental.update(part)
+        assert incremental.profile(max_values=1000) == profile_column(column, max_values=1000)
+
+    @given(values_and_cuts())
+    @settings(max_examples=120, deadline=None)
+    def test_merge_of_per_batch_profiles_equals_batch(self, data):
+        values, cuts = data
+        column = Column("c", values, ColumnType.VARCHAR)
+        parts = partitions(values, cuts)
+        profiles = [MergeableColumnProfile("c", column.dtype).update(p) for p in parts]
+        merged = profiles[0]
+        for nxt in profiles[1:]:
+            merged = merged.merge(nxt)
+        assert merged.profile(max_values=1000) == profile_column(column, max_values=1000)
+
+    @given(values_and_cuts(), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=60, deadline=None)
+    def test_top_values_truncation_matches(self, data, max_values):
+        values, cuts = data
+        column = Column("c", values, ColumnType.VARCHAR)
+        incremental = MergeableColumnProfile("c", column.dtype)
+        for part in partitions(values, cuts):
+            incremental.update(part)
+        assert (
+            incremental.profile(max_values=max_values).top_values
+            == profile_column(column, max_values=max_values).top_values
+        )
+
+
+@st.composite
+def small_tables_and_cuts(draw):
+    n_rows = draw(st.integers(min_value=0, max_value=20))
+    n_cols = draw(st.integers(min_value=1, max_value=3))
+    names = [f"c{i}" for i in range(n_cols)]
+    data = {
+        name: draw(st.lists(categorical_value, min_size=n_rows, max_size=n_rows))
+        for name in names
+    }
+    table = Table.from_dict("t", data)
+    n_cuts = draw(st.integers(min_value=0, max_value=3))
+    cuts = sorted(draw(st.lists(st.integers(min_value=0, max_value=n_rows),
+                                min_size=n_cuts, max_size=n_cuts)))
+    return table, cuts
+
+
+def table_partitions(table, cuts):
+    bounds = [0] + list(cuts) + [table.num_rows]
+    return [table.take(list(range(a, b))) for a, b in zip(bounds, bounds[1:])]
+
+
+class TestIncrementalTableState:
+    @given(small_tables_and_cuts())
+    @settings(max_examples=80, deadline=None)
+    def test_fd_candidates_match_batch_discovery(self, data):
+        table, cuts = data
+        state = IncrementalFDState(table.column_names)
+        for part in table_partitions(table, cuts):
+            state.update(part)
+        assert state.candidates(min_score=0.5) == discover_fds(table, min_score=0.5)
+
+    @given(small_tables_and_cuts())
+    @settings(max_examples=80, deadline=None)
+    def test_duplicates_match_batch_counts_and_samples(self, data):
+        table, cuts = data
+        state = IncrementalDuplicateState()
+        for part in table_partitions(table, cuts):
+            state.update(part)
+        assert state.duplicate_rows == duplicate_row_count(table)
+        assert state.samples(limit=3) == duplicate_row_samples(table, limit=3)

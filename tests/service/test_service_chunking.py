@@ -2,11 +2,15 @@
 
 from __future__ import annotations
 
+import warnings
+
 import pytest
 
 from repro import CocoonCleaner, load_dataset
+from repro.dataframe import Table
 from repro.llm import PromptCacheStore, SimulatedSemanticLLM
 from repro.service import CleaningService, ChunkedCleaningResult, clean_chunked
+from repro.service.chunking import SAFE_CHUNK_ROWS_FLOOR
 
 
 @pytest.fixture(scope="module")
@@ -28,7 +32,9 @@ class TestChunkedMatchesWholeTable:
         assert chunked.cleaned_table == hospital_whole.cleaned_table
 
     def test_hospital_four_chunks_parallel(self, hospital, hospital_whole):
-        chunked = clean_chunked(hospital.dirty, chunk_rows=50, max_workers=4)
+        # chunk_rows=50 sits below the statistical floor, so the run warns.
+        with pytest.warns(UserWarning, match="statistically safe floor"):
+            chunked = clean_chunked(hospital.dirty, chunk_rows=50, max_workers=4)
         assert chunked.chunk_count == 4
         assert chunked.parallel_workers == 4
         assert chunked.cleaned_table == hospital_whole.cleaned_table
@@ -51,6 +57,42 @@ class TestChunkedMatchesWholeTable:
         chunked = clean_chunked(hospital.dirty, chunk_rows=100, cache_store=store)
         assert chunked.cleaned_table == hospital_whole.cleaned_table
         assert store.stats()["size"] > 0
+
+
+class TestEmptyTableAndFloorWarning:
+    def test_empty_table_returns_empty_result_without_pipeline(self):
+        empty = Table.from_dict("empty", {"a": [], "b": []})
+        calls = []
+
+        def counting_llm():
+            llm = SimulatedSemanticLLM()
+            calls.append(llm)
+            return llm
+
+        result = clean_chunked(empty, chunk_rows=200, llm_factory=counting_llm)
+        assert isinstance(result, ChunkedCleaningResult)
+        assert result.cleaned_table.num_rows == 0
+        assert result.cleaned_table.column_names == ["a", "b"]
+        assert result.chunk_count == 0
+        assert result.llm_calls == 0
+        assert not result.fell_back
+        assert "no rows" in result.sql_script
+        assert not calls  # no LLM was even constructed
+
+    def test_small_chunk_rows_warns_below_safe_floor(self, hospital):
+        with pytest.warns(UserWarning, match="statistically safe floor"):
+            clean_chunked(hospital.dirty, chunk_rows=SAFE_CHUNK_ROWS_FLOOR - 90)
+
+    def test_no_warning_at_or_above_floor(self, hospital):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            clean_chunked(hospital.dirty, chunk_rows=SAFE_CHUNK_ROWS_FLOOR)
+
+    def test_no_warning_when_table_fits_one_chunk(self):
+        small = Table.from_dict("tiny", {"a": ["x", "y"]})
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            clean_chunked(small, chunk_rows=10)
 
 
 class TestSingleChunkAndFallback:

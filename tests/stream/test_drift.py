@@ -1,0 +1,143 @@
+"""Drift detection: profile distance signals and selective re-prompting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataframe import Column, ColumnType, Table
+from repro.profiling import MergeableColumnProfile
+from repro.stream import DriftConfig, DriftDetector, StreamingCleaner, profile_distance
+
+
+def profile_of(values, name="c"):
+    return MergeableColumnProfile(name, ColumnType.VARCHAR).update(values)
+
+
+class TestProfileDistance:
+    def test_identical_profiles_have_zero_distance(self):
+        a = profile_of(["x"] * 30 + ["y"] * 10)
+        drift = profile_distance(a, a)
+        assert drift.distance == 0.0
+        assert not drift.drifted
+
+    def test_new_value_mass_counts_unseen_values(self):
+        baseline = profile_of(["x"] * 40)
+        current = profile_of(["x"] * 40 + ["z"] * 40)
+        drift = profile_distance(baseline, current)
+        assert drift.new_value_mass == pytest.approx(0.5)
+        assert drift.frequency_shift > 0
+
+    def test_null_shift(self):
+        baseline = profile_of(["x"] * 40)
+        current = profile_of(["x"] * 20 + [None] * 20)
+        drift = profile_distance(baseline, current)
+        assert drift.null_shift == pytest.approx(0.5)
+
+    def test_pattern_shift_catches_format_change(self):
+        baseline = profile_of(["2021-01-%02d" % d for d in range(1, 10)] * 4)
+        # Same "new values" magnitude but a different shape mix.
+        current = baseline.merge(profile_of(["01/%02d/2021" % d for d in range(1, 10)] * 8))
+        drift = profile_distance(baseline, current)
+        assert drift.pattern_shift > 0.4
+
+    def test_key_like_columns_never_drift(self):
+        baseline = profile_of([f"id-{i}" for i in range(40)])
+        current = profile_of([f"id-{i}" for i in range(40, 400)])
+        drift = profile_distance(baseline, current, DriftConfig(threshold=0.01))
+        assert drift.new_value_mass > 0.8
+        assert not drift.drifted  # exempt: unique ratio above max_unique_ratio
+
+    def test_min_rows_gate(self):
+        baseline = profile_of(["x"] * 5)
+        current = profile_of(["x"] * 5 + ["z"] * 5)
+        config = DriftConfig(threshold=0.05, min_rows=30)
+        assert not profile_distance(baseline, current, config).drifted
+        config.min_rows = 5
+        assert profile_distance(baseline, current, config).drifted
+
+
+class TestDriftDetector:
+    def test_assess_requires_baseline(self):
+        with pytest.raises(RuntimeError):
+            DriftDetector().assess({"c": profile_of(["x"])})
+
+    def test_baseline_is_snapshotted_not_aliased(self):
+        live = profile_of(["x"] * 40)
+        detector = DriftDetector(DriftConfig(threshold=0.1, min_rows=10))
+        detector.set_baseline({"c": live})
+        live.update(["z"] * 120)  # live accumulator keeps moving
+        drifts = detector.assess({"c": live})
+        assert drifts[0].drifted  # baseline stayed at plan time
+
+
+def language_batch(start, languages):
+    return Table.from_dict(
+        "articles",
+        {
+            "article_id": [str(1000 + start + i) for i in range(len(languages))],
+            "language": languages,
+        },
+    )
+
+
+@pytest.fixture()
+def drifting_stream_batches():
+    prime = language_batch(0, ["eng"] * 20 + ["English"] * 3 + ["fre"] * 8 + ["French"] * 2)
+    steady = language_batch(33, ["eng"] * 10 + ["fre"] * 5)
+    # A redundant-representation pair unseen at prime time floods the tail.
+    drifted = language_batch(48, ["ger"] * 18 + ["German"] * 8)
+    return prime, steady, drifted
+
+
+class TestSelectiveReprompting:
+    def test_drift_off_replays_blindly(self, drifting_stream_batches):
+        stream = StreamingCleaner("articles", detect_drift=False)
+        for batch in drifting_stream_batches:
+            result = stream.process_batch(batch)
+        assert result.replayed and result.llm_calls == 0
+        values = stream.cleaned_table().column("language").values
+        assert values.count("German") == 8  # plan coverage gap left as-is
+
+    def test_drift_on_reprompts_only_the_drifted_column(self, drifting_stream_batches):
+        config = DriftConfig(threshold=0.12, min_rows=10)
+        stream = StreamingCleaner("articles", detect_drift=True, drift_config=config)
+        prime, steady, drifted = drifting_stream_batches
+        stream.process_batch(prime)
+        plan_before = [
+            (s.kind, s.target, dict(s.payload.get("mapping") or {})) for s in stream.plan.steps
+        ]
+        mid = stream.process_batch(steady)
+        assert mid.replayed and mid.llm_calls == 0 and not mid.drifted_columns
+
+        result = stream.process_batch(drifted)
+        assert result.drifted_columns == ["language"]  # article_id is key-like: exempt
+        assert not result.replayed
+        assert result.llm_calls > 0
+        # The spliced plan now maps the new representation; old entries kept.
+        maps = {
+            s.target: s.payload["mapping"] for s in stream.plan.steps if s.kind == "value_map"
+        }
+        assert maps["language"]["German"] == "ger"
+        assert maps["language"]["English"] == "eng"
+        values = stream.cleaned_table().column("language").values
+        assert values.count("German") == 0
+        assert values.count("ger") == 26
+        assert stream.stats.replans == 1
+        # Only the language column was re-prompted: far fewer calls than a prime.
+        prime_calls = stream.batch_results[0].llm_calls
+        assert result.llm_calls < prime_calls
+        assert plan_before != [
+            (s.kind, s.target, dict(s.payload.get("mapping") or {})) for s in stream.plan.steps
+        ]
+
+    def test_replan_rewrites_already_emitted_cells(self, drifting_stream_batches):
+        config = DriftConfig(threshold=0.02, min_rows=10)
+        stream = StreamingCleaner("articles", detect_drift=True, drift_config=config)
+        prime, steady, drifted = drifting_stream_batches
+        stream.process_batch(prime)
+        stream.process_batch(steady)
+        result = stream.process_batch(drifted)
+        # Upserts replace history: re-added row ids overlap earlier batches
+        # only if their cells changed; at minimum the new batch is present.
+        added_ids = set(result.added_row_ids)
+        assert added_ids.issuperset(set(range(48, 48 + drifted.num_rows)))

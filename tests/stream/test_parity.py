@@ -1,0 +1,103 @@
+"""Streaming-vs-whole-table parity: the subsystem's determinism guarantee.
+
+Scenario: a registry benchmark is the *backfill*; further traffic replays
+rows from the same pool (:func:`~repro.stream.source.steady_state_stream`) —
+the steady-state regime where the cached plan's decisions keep applying.
+With drift detection off, streaming the combined table in **any** micro-batch
+partitioning must emit exactly the cells ``CocoonCleaner().clean`` produces
+on the whole table, and every batch after the priming window must make
+**zero** LLM calls.
+
+Each dataset is exercised under three partitionings, including tiny batches
+that straddle the priming window, per the acceptance criteria.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CocoonCleaner
+from repro.datasets import load_dataset
+from repro.stream import StreamingCleaner, partition_table, steady_state_stream
+
+DATASETS = ("hospital", "beers")
+
+
+def _scenario(dataset: str):
+    ds = load_dataset(dataset, seed=0, scale=0.05)
+    batch_rows = max(10, ds.dirty.num_rows // 5)
+    whole, prime_rows = steady_state_stream(ds.dirty, traffic_batches=4, batch_rows=batch_rows, seed=7)
+    return whole, prime_rows, batch_rows
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    return {name: _scenario(name) for name in DATASETS}
+
+
+@pytest.fixture(scope="module")
+def references(scenarios):
+    return {
+        name: CocoonCleaner().clean(whole)
+        for name, (whole, _, _) in scenarios.items()
+    }
+
+
+def _partitionings(whole_rows: int, prime_rows: int, batch_rows: int):
+    """Three partitionings: aligned batches, tiny batches, uneven straddle."""
+    return [
+        [prime_rows, prime_rows + batch_rows, prime_rows + 2 * batch_rows],
+        list(range(9, whole_rows, 9)),
+        [whole_rows // 4, prime_rows - 3, prime_rows + 5, whole_rows - 2],
+    ]
+
+
+def _stream(whole, prime_rows, bounds):
+    stream = StreamingCleaner(name=whole.name, detect_drift=False, prime_rows=prime_rows)
+    results = [stream.process_batch(batch) for batch in partition_table(whole, bounds)]
+    return stream, results
+
+
+class TestStreamingParity:
+    @pytest.mark.parametrize("dataset", DATASETS)
+    @pytest.mark.parametrize("partitioning", [0, 1, 2])
+    def test_cell_identical_and_zero_steady_llm_calls(
+        self, scenarios, references, dataset, partitioning
+    ):
+        whole, prime_rows, batch_rows = scenarios[dataset]
+        bounds = _partitionings(whole.num_rows, prime_rows, batch_rows)[partitioning]
+        bounds = sorted(set(b for b in bounds if 0 < b < whole.num_rows))
+        stream, results = _stream(whole, prime_rows, bounds)
+
+        # Cell-identical cumulative output, including row order and types.
+        reference = references[dataset].cleaned_table
+        assert stream.cleaned_table().to_dict() == reference.to_dict()
+
+        # Exactly one prime; every post-prime batch replayed with zero calls.
+        primed = [r for r in results if r.primed]
+        assert len(primed) == 1
+        steady = [r for r in results if r.replayed]
+        assert steady, "expected at least one steady-state replay batch"
+        assert all(r.llm_calls == 0 for r in steady)
+        assert stream.stats.llm_calls == primed[0].llm_calls
+        assert stream.stats.replans == 0
+
+    @pytest.mark.parametrize("dataset", DATASETS)
+    def test_all_partitionings_agree_with_each_other(self, scenarios, dataset):
+        whole, prime_rows, batch_rows = scenarios[dataset]
+        outputs = []
+        for bounds in _partitionings(whole.num_rows, prime_rows, batch_rows):
+            bounds = sorted(set(b for b in bounds if 0 < b < whole.num_rows))
+            stream, _ = _stream(whole, prime_rows, bounds)
+            outputs.append(stream.cleaned_table().to_dict())
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_traffic_duplicates_are_removed_like_whole_table(self, scenarios, references):
+        whole, prime_rows, batch_rows = scenarios["hospital"]
+        bounds = [prime_rows, prime_rows + batch_rows]
+        stream, _ = _stream(whole, prime_rows, bounds)
+        # The replayed traffic duplicates backfill rows; the whole-table
+        # pipeline removes them, so the stream must too (cross-batch dedup).
+        assert whole.num_rows > references["hospital"].cleaned_table.num_rows
+        assert stream.stats.rows_emitted == references["hospital"].cleaned_table.num_rows
+        assert stream.stats.rows_dropped > 0

@@ -1,0 +1,159 @@
+"""StreamService: shared-pool dispatch, per-stream ordering, backpressure."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.dataframe import Table
+from repro.stream import (
+    StreamBackpressure,
+    StreamService,
+    iter_table_batches,
+)
+
+
+def make_table(n, name="t", offset=0):
+    return Table.from_dict(
+        name,
+        {
+            "city": (["NY", "New York", "LA"] * (n // 3 + 1))[:n],
+            "note": [f"n{offset + i}" for i in range(n)],
+        },
+    )
+
+
+class TestDispatchAndOrdering:
+    def test_two_streams_share_the_pool(self):
+        with StreamService(workers=3, detect_drift=False) as service:
+            service.create_stream("alpha")
+            service.create_stream("beta")
+            jobs = []
+            for name in ("alpha", "beta"):
+                table = make_table(40, name)
+                jobs.extend(service.submit(name, b) for b in iter_table_batches(table, 10))
+            assert service.wait_idle(timeout=60)
+            assert all(job.done and job.error is None for job in jobs)
+            stats = service.stats()
+            assert stats.streams == 2
+            assert stats.batches_completed == len(jobs)
+            assert stats.batches_failed == 0
+            for name in ("alpha", "beta"):
+                per = stats.per_stream[name]
+                assert per["rows_ingested"] == 40
+                assert per["replayed_batches"] == 3  # 4 batches: 1 prime + 3 replays
+
+    def test_batches_process_in_submission_order(self):
+        with StreamService(workers=4, detect_drift=False) as service:
+            service.create_stream("ordered")
+            table = make_table(60, "ordered")
+            jobs = [service.submit("ordered", b) for b in iter_table_batches(table, 6)]
+            assert service.wait_idle(timeout=60)
+            indexes = [job.result.batch_index for job in jobs]
+            assert indexes == sorted(indexes)
+            # Row ids are assigned in arrival order across batches.
+            firsts = [job.result.first_row_id for job in jobs]
+            assert firsts == sorted(firsts)
+
+    def test_concurrent_producers_on_one_stream_do_not_deadlock(self):
+        # Sequence assignment and enqueue are atomic: even racing producers
+        # cannot put batch n+1 ahead of batch n in the pool queue, which with
+        # one worker would deadlock the ordering wait.
+        with StreamService(workers=1, max_pending_batches=8, detect_drift=False) as service:
+            service.create_stream("raced")
+            errors = []
+
+            def produce(offset):
+                try:
+                    for i in range(4):
+                        service.submit("raced", make_table(6, "raced", offset + i * 6))
+                except Exception as exc:  # pragma: no cover - diagnostic path
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=produce, args=(k * 24,)) for k in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            assert not errors
+            assert service.wait_idle(timeout=60)
+            stream = service.stream("raced")
+            assert stream.completed_batches == 12
+            assert stream.failed_batches == 0
+
+    def test_unknown_stream_rejected(self):
+        with StreamService(workers=1) as service:
+            with pytest.raises(KeyError, match="Unknown stream"):
+                service.submit("ghost", make_table(3))
+
+    def test_duplicate_stream_name_rejected(self):
+        with StreamService(workers=1) as service:
+            service.create_stream("once")
+            with pytest.raises(ValueError, match="already exists"):
+                service.create_stream("once")
+
+
+class TestBackpressure:
+    def test_nonblocking_submit_raises_when_full(self):
+        gate = threading.Event()
+
+        class GatedTable(Table):
+            pass
+
+        with StreamService(workers=1, detect_drift=False) as service:
+            stream = service.create_stream("slow", max_pending_batches=2)
+            original = stream.cleaner.process_batch
+
+            def stalled(batch):
+                gate.wait(timeout=30)
+                return original(batch)
+
+            stream.cleaner.process_batch = stalled
+            service.submit("slow", make_table(6))
+            service.submit("slow", make_table(6, offset=6), block=False)
+            with pytest.raises(StreamBackpressure):
+                service.submit("slow", make_table(6, offset=12), block=False)
+            assert stream.pending_batches == 2
+            gate.set()
+            assert service.wait_idle(timeout=60)
+            # Capacity freed: submission works again.
+            service.submit("slow", make_table(6, offset=18), block=False)
+            assert service.wait_idle(timeout=60)
+
+    def test_blocking_submit_times_out(self):
+        gate = threading.Event()
+        with StreamService(workers=1, detect_drift=False) as service:
+            stream = service.create_stream("slow", max_pending_batches=1)
+            original = stream.cleaner.process_batch
+            stream.cleaner.process_batch = lambda b: (gate.wait(timeout=30), original(b))[1]
+            service.submit("slow", make_table(6))
+            with pytest.raises(StreamBackpressure):
+                service.submit("slow", make_table(6, offset=6), timeout=0.05)
+            gate.set()
+            assert service.wait_idle(timeout=60)
+
+    def test_invalid_max_pending_rejected(self):
+        with pytest.raises(ValueError):
+            StreamService(max_pending_batches=0)
+
+
+class TestFailureIsolation:
+    def test_schema_error_fails_stream_but_not_service(self):
+        with StreamService(workers=2, detect_drift=False) as service:
+            service.create_stream("bad")
+            service.create_stream("good")
+            ok = service.submit("good", make_table(9, "good"))
+            first = service.submit("bad", make_table(9, "bad"))
+            broken = service.submit("bad", Table.from_dict("bad", {"other": ["x"]}))
+            after = service.submit("bad", make_table(9, "bad", offset=9))
+            assert service.wait_idle(timeout=60)
+            assert ok.error is None
+            assert first.error is None
+            assert broken.error is not None and "schema" in broken.error
+            # Later batches on the failed stream fail fast with the cause.
+            assert after.error is not None and "already failed" in after.error
+            stats = service.stats()
+            assert stats.per_stream["bad"]["failed"] is True
+            assert stats.per_stream["good"]["failed"] is False
+            assert stats.batches_failed == 2

@@ -1,0 +1,109 @@
+"""Batch sources: table slicing, CSV streaming, directory tailing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataframe import ColumnType, Table
+from repro.dataframe.io import write_csv
+from repro.stream import (
+    DirectoryTailer,
+    iter_csv_batches,
+    iter_table_batches,
+    partition_table,
+    steady_state_stream,
+)
+
+
+@pytest.fixture()
+def table():
+    return Table.from_dict("t", {"a": [str(i) for i in range(10)], "b": list("abcdefghij")})
+
+
+class TestTableBatches:
+    def test_batches_cover_all_rows_in_order(self, table):
+        batches = list(iter_table_batches(table, 4))
+        assert [b.num_rows for b in batches] == [4, 4, 2]
+        rebuilt = batches[0]
+        for batch in batches[1:]:
+            rebuilt = rebuilt.concat(batch)
+        assert rebuilt.to_dict() == table.to_dict()
+
+    def test_empty_table_yields_one_empty_batch(self):
+        empty = Table.from_dict("t", {"a": []})
+        assert [b.num_rows for b in iter_table_batches(empty, 5)] == [0]
+
+    def test_invalid_batch_rows(self, table):
+        with pytest.raises(ValueError):
+            list(iter_table_batches(table, 0))
+
+    def test_partition_table_bounds(self, table):
+        parts = partition_table(table, [3, 7])
+        assert [p.num_rows for p in parts] == [3, 4, 3]
+        with pytest.raises(ValueError):
+            partition_table(table, [99])
+
+    def test_steady_state_stream_shape(self, table):
+        whole, prime_rows = steady_state_stream(table, traffic_batches=3, batch_rows=5, seed=1)
+        assert whole.num_rows == table.num_rows + 15
+        assert prime_rows == table.num_rows + 5
+        # Traffic rows are copies of backfill rows.
+        pool = set(table.row_tuples())
+        assert all(row in pool for row in whole.row_tuples()[table.num_rows:])
+
+
+class TestCsvBatches:
+    def test_streams_in_batches_with_nulls(self, tmp_path, table):
+        path = tmp_path / "data.csv"
+        dirty = table.set_cell(3, "b", None)
+        write_csv(dirty, path)
+        batches = list(iter_csv_batches(path, 4))
+        assert [b.num_rows for b in batches] == [4, 4, 2]
+        assert all(c.dtype is ColumnType.VARCHAR for b in batches for c in b.columns)
+        assert batches[0].cell(3, "b") is None
+        rebuilt = batches[0]
+        for batch in batches[1:]:
+            rebuilt = rebuilt.concat(batch)
+        assert rebuilt.column("a").values == dirty.column("a").values
+
+    def test_header_only_file_yields_empty_batch(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("a,b\n", encoding="utf-8")
+        batches = list(iter_csv_batches(path, 10))
+        assert len(batches) == 1
+        assert batches[0].column_names == ["a", "b"]
+        assert batches[0].num_rows == 0
+
+    def test_completely_empty_file(self, tmp_path):
+        path = tmp_path / "none.csv"
+        path.write_text("", encoding="utf-8")
+        batches = list(iter_csv_batches(path, 10))
+        assert len(batches) == 1 and batches[0].num_columns == 0
+
+
+class TestDirectoryTailer:
+    def test_poll_returns_new_files_once(self, tmp_path):
+        (tmp_path / "b.csv").write_text("a\n1\n", encoding="utf-8")
+        (tmp_path / "a.csv").write_text("a\n1\n", encoding="utf-8")
+        tailer = DirectoryTailer(tmp_path)
+        assert [p.name for p in tailer.poll()] == ["a.csv", "b.csv"]
+        assert tailer.poll() == []
+        (tmp_path / "c.csv").write_text("a\n1\n", encoding="utf-8")
+        assert [p.name for p in tailer.poll()] == ["c.csv"]
+
+    def test_pattern_filters(self, tmp_path):
+        (tmp_path / "x.csv").write_text("a\n", encoding="utf-8")
+        (tmp_path / "x.txt").write_text("a\n", encoding="utf-8")
+        assert [p.name for p in DirectoryTailer(tmp_path).poll()] == ["x.csv"]
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            DirectoryTailer(tmp_path / "nope").poll()
+
+    def test_follow_stops_on_max_files_and_idle(self, tmp_path):
+        for i in range(3):
+            (tmp_path / f"f{i}.csv").write_text("a\n1\n", encoding="utf-8")
+        tailer = DirectoryTailer(tmp_path)
+        assert len(list(tailer.follow(poll_seconds=0.01, max_files=2))) == 2
+        # One more left; then idle_polls bounds the wait for a fourth.
+        assert len(list(tailer.follow(poll_seconds=0.01, idle_polls=2))) == 1
