@@ -1,0 +1,252 @@
+"""HTTP gateway throughput: concurrent clients vs one sequential client.
+
+The scenario the server exists for: many independent producers submitting
+tables for cleaning over the network.  Both passes drive the *same* live
+``repro.server`` instance shape (fresh server per pass, so neither pass
+inherits the other's warm prompt cache):
+
+* **baseline** — one client submits each job and polls it to completion
+  before submitting the next (an in-process caller's synchronous loop,
+  moved onto HTTP);
+* **optimised** — ``--clients`` concurrent clients (default 4) split the
+  same job list, submitting and polling in parallel against the server's
+  4-worker pool.
+
+Every served result is parity-checked byte for byte against the in-process
+pipeline (``CocoonCleaner`` on the same CSV), so the speedup is measured on
+verified-identical work.  The simulated LLM runs with a per-call latency
+(``--llm-latency``) — the hosted-model regime where the worker pool overlaps
+jobs' LLM waits.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_server.py             # full -> BENCH_server.json
+    PYTHONPATH=src python benchmarks/bench_server.py --smoke     # seconds, CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import queue
+import sys
+import threading
+import time
+import urllib.request
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+import benchlib
+
+from repro.core import CocoonCleaner
+from repro.dataframe.io import read_csv_text, to_csv_text
+from repro.datasets import dataset_names, load_dataset
+from repro.llm.simulated import SimulatedSemanticLLM
+from repro.server.gateway import CleaningGateway
+from repro.server.http import make_server
+
+WORKERS = 4
+
+
+def build_jobs(scale: float, seeds):
+    """(name, csv_text) per dataset x seed — the job list both passes share."""
+    jobs = []
+    for seed in seeds:
+        for dataset in dataset_names():
+            table = load_dataset(dataset, seed=seed, scale=scale).dirty
+            jobs.append((f"{dataset}_s{seed}", to_csv_text(table)))
+    return jobs
+
+
+def expected_results(jobs, latency):
+    """In-process reference: what every served result must match."""
+    expected = {}
+    for name, csv_text in jobs:
+        table = read_csv_text(csv_text, name=name, infer_types=False)
+        cleaner = CocoonCleaner(llm=SimulatedSemanticLLM(latency_seconds=latency))
+        expected[name] = to_csv_text(cleaner.clean(table).cleaned_table)
+    return expected
+
+
+def start_server(latency):
+    gateway = CleaningGateway(
+        workers=WORKERS,
+        llm_factory=lambda: SimulatedSemanticLLM(latency_seconds=latency),
+        max_pending_jobs=256,
+    )
+    server = make_server(gateway, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return gateway, server, thread, f"http://127.0.0.1:{server.port}"
+
+
+def stop_server(gateway, server, thread):
+    server.shutdown()
+    thread.join()
+    server.server_close()
+    gateway.shutdown(wait=True)
+
+
+def _post_json(base, path, payload):
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        base + path, data=body, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _get_json(base, path):
+    with urllib.request.urlopen(base + path, timeout=120) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def run_job_over_http(base, name, csv_text):
+    """One client interaction: submit, poll to terminal, fetch the result."""
+    submitted = _post_json(base, "/v1/jobs", {"csv": csv_text, "name": name})
+    job_id = submitted["job_id"]
+    while True:
+        status = _get_json(base, f"/v1/jobs/{job_id}")
+        if status["done"]:
+            break
+        time.sleep(0.01)
+    return _get_json(base, f"/v1/jobs/{job_id}/result")
+
+
+def sequential_pass(jobs, latency):
+    """One client, one job in flight at a time."""
+    gateway, server, thread, base = start_server(latency)
+    try:
+        start = time.perf_counter()
+        results = {name: run_job_over_http(base, name, csv) for name, csv in jobs}
+        elapsed = time.perf_counter() - start
+    finally:
+        stop_server(gateway, server, thread)
+    return elapsed, results
+
+
+def concurrent_pass(jobs, latency, clients):
+    """``clients`` threads pull jobs from a shared queue and run them in parallel."""
+    gateway, server, thread, base = start_server(latency)
+    results = {}
+    results_lock = threading.Lock()
+    errors = []
+    work = queue.Queue()
+    # Largest tables first: the classic makespan heuristic — a heavy job
+    # started last would otherwise run alone at the tail.
+    for job in sorted(jobs, key=lambda j: -len(j[1])):
+        work.put(job)
+
+    def client():
+        try:
+            while True:
+                try:
+                    name, csv_text = work.get_nowait()
+                except queue.Empty:
+                    return
+                result = run_job_over_http(base, name, csv_text)
+                with results_lock:
+                    results[name] = result
+        except Exception as exc:  # noqa: BLE001 - surfaced after the join
+            errors.append(f"{type(exc).__name__}: {exc}")
+
+    try:
+        start = time.perf_counter()
+        threads = [threading.Thread(target=client) for _ in range(clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - start
+    finally:
+        stop_server(gateway, server, thread)
+    if errors:
+        raise RuntimeError(f"concurrent clients failed: {errors}")
+    return elapsed, results
+
+
+def check_parity(results, expected):
+    for name, reference_csv in expected.items():
+        result = results.get(name)
+        if result is None or result.get("status") != "succeeded":
+            return False
+        if result.get("csv") != reference_csv:
+            return False
+    return True
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny cases for CI")
+    parser.add_argument("--out", default="BENCH_server.json")
+    parser.add_argument("--clients", type=int, default=4, help="concurrent clients (default: 4)")
+    parser.add_argument(
+        "--llm-latency",
+        type=float,
+        default=0.05,
+        help="simulated per-LLM-call latency in seconds (default: 0.05)",
+    )
+    args = parser.parse_args()
+
+    scale = 0.05 if args.smoke else 0.1
+    seeds = (0, 1)
+    latency = 0.02 if args.smoke else args.llm_latency
+
+    jobs = build_jobs(scale, seeds)
+    expected = expected_results(jobs, latency)
+
+    sequential_seconds, sequential_results = sequential_pass(jobs, latency)
+    concurrent_seconds, concurrent_results = concurrent_pass(jobs, latency, args.clients)
+
+    parity = check_parity(sequential_results, expected) and check_parity(
+        concurrent_results, expected
+    )
+    case = benchlib.case_result(
+        f"{len(jobs)}jobs-{args.clients}clients-lat{int(latency * 1000)}ms",
+        {
+            "jobs": len(jobs),
+            "datasets": len(dataset_names()),
+            "seeds": list(seeds),
+            "scale": scale,
+            "workers": WORKERS,
+            "clients": args.clients,
+            "llm_latency_seconds": latency,
+        },
+        baseline_seconds=sequential_seconds,
+        optimised_seconds=concurrent_seconds,
+        parity=parity,
+    )
+    case["sequential_jobs_per_second"] = round(len(jobs) / sequential_seconds, 3)
+    case["concurrent_jobs_per_second"] = round(len(jobs) / concurrent_seconds, 3)
+
+    report = benchlib.write_report(
+        args.out,
+        "server",
+        {
+            "mode": "smoke" if args.smoke else "full",
+            "description": (
+                "HTTP gateway throughput: N concurrent clients vs one sequential client "
+                "against a 4-worker repro.server; every served result parity-checked "
+                "against the in-process pipeline"
+            ),
+        },
+        [case],
+    )
+    benchlib.print_cases(report)
+    if not parity:
+        print("PARITY FAILURE: served results differ from the in-process pipeline", file=sys.stderr)
+        return 1
+    if case["speedup"] < 2.0:
+        print(
+            f"THROUGHPUT REGRESSION: {args.clients} clients only {case['speedup']:.2f}x "
+            "a sequential client (expected >= 2x at 4 workers)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,10 +11,19 @@ from __future__ import annotations
 import textwrap
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
+from repro.sql.tokenizer import KEYWORDS
+
 
 def quote_identifier(name: str) -> str:
-    """Double-quote an identifier when it is not a plain lowercase word."""
-    if name.isidentifier() and name == name.lower():
+    """Double-quote an identifier unless it is a plain lowercase non-keyword word.
+
+    Column names that collide with SQL keywords (``select``, ``order``,
+    ``group``, ``from``, …) must be quoted in any case spelling: the tokenizer
+    keywordises words case-insensitively, so leaving them bare would make the
+    generated cleaning script fail to re-parse on exactly the tables the paper
+    promises it re-runs on.
+    """
+    if name.isidentifier() and name == name.lower() and name.upper() not in KEYWORDS:
         return name
     escaped = name.replace('"', '""')
     return f'"{escaped}"'

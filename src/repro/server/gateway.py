@@ -1,0 +1,305 @@
+"""The gateway application object: HTTP-shaped operations, no sockets.
+
+:class:`CleaningGateway` is everything the server does, expressed as plain
+methods over JSON-able dicts — the HTTP layer (:mod:`repro.server.http`)
+only routes, decodes and encodes.  Keeping the two apart makes the gateway
+unit-testable without binding a port and reusable behind any other
+transport.
+
+Wiring (the point of the layer):
+
+* one shared :class:`~repro.llm.cache.PromptCacheStore` backs *both* the
+  batch service's per-job clients and every stream's cleaner, so network
+  traffic amortises LLM calls exactly like in-process callers do;
+* the batch :class:`~repro.service.CleaningService` runs with bounded
+  admission (``max_pending_jobs``) and its by-id job registry, so jobs are
+  addressable across requests and a flooded service answers 429 instead of
+  queueing without bound;
+* streams are created on first use through the
+  :meth:`~repro.stream.service.StreamService.get_or_create_stream`
+  registry; a full stream queue raises
+  :class:`~repro.stream.StreamBackpressure`, which the HTTP layer maps to
+  429 with a ``Retry-After`` hint.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Union
+
+from repro.core.context import CleaningConfig
+from repro.dataframe.io import read_csv_text, to_csv_text
+from repro.dataframe.table import Table
+from repro.llm.cache import PromptCacheStore, cached_client
+from repro.llm.simulated import SimulatedSemanticLLM
+from repro.service.jobs import JobStatus
+from repro.service.scheduler import CleaningService
+from repro.stream.service import StreamService
+
+
+class BadRequest(ValueError):
+    """The request payload cannot be turned into work (HTTP 400)."""
+
+
+class ResultNotReady(RuntimeError):
+    """The job exists but has not reached a terminal state yet (HTTP 409)."""
+
+
+class CleaningGateway:
+    """Batch + stream cleaning behind one application facade.
+
+    Parameters mirror the two underlying services; ``llm_factory`` defaults
+    to the deterministic :class:`~repro.llm.simulated.SimulatedSemanticLLM`
+    so the server runs offline, and ``retry_after_seconds`` is the hint sent
+    with every 429.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        stream_workers: int = 2,
+        max_pending_jobs: Optional[int] = 64,
+        max_pending_batches: int = 4,
+        llm_factory: Optional[Callable[[], Any]] = None,
+        config: Optional[CleaningConfig] = None,
+        cache_path: Optional[Union[str, Path]] = None,
+        cache_store: Optional[PromptCacheStore] = None,
+        cache_flush_every: int = 32,
+        default_chunk_rows: int = 0,
+        retry_after_seconds: float = 1.0,
+    ):
+        self.llm_factory = llm_factory or SimulatedSemanticLLM
+        self.retry_after_seconds = retry_after_seconds
+        if cache_store is not None:
+            self.cache = cache_store
+        else:
+            self.cache = PromptCacheStore(cache_path, flush_every=cache_flush_every)
+        self.service = CleaningService(
+            workers=workers,
+            llm_factory=self.llm_factory,
+            config=config,
+            cache_store=self.cache,
+            default_chunk_rows=default_chunk_rows,
+            max_pending_jobs=max_pending_jobs,
+        )
+        # Stream cleaners write through the same shared store as batch jobs.
+        self.streams = StreamService(
+            workers=stream_workers,
+            max_pending_batches=max_pending_batches,
+            config=config,
+            llm_factory=lambda: cached_client(self.llm_factory(), self.cache),
+        )
+        self.started_at = time.time()
+        self._draining = False
+        self._counter_lock = threading.Lock()
+        self._counters: Dict[str, int] = {
+            "requests": 0,
+            "jobs_submitted": 0,
+            "batches_submitted": 0,
+            "rejected_saturated": 0,
+            "rejected_backpressure": 0,
+        }
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> "CleaningGateway":
+        self.service.start()
+        self.streams.pool.start()
+        return self
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Drain both services (with ``wait``) and flush the shared cache."""
+        self._draining = True
+        self.service.shutdown(wait=wait)
+        self.streams.shutdown(wait=wait)
+        self.cache.flush()
+
+    def __enter__(self) -> "CleaningGateway":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(wait=exc_type is None)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def count(self, key: str, delta: int = 1) -> None:
+        with self._counter_lock:
+            self._counters[key] = self._counters.get(key, 0) + delta
+
+    # -- payload parsing -----------------------------------------------------------
+    @staticmethod
+    def parse_table(payload: Dict[str, Any], default_name: str = "table") -> Table:
+        """Build a :class:`Table` from a request payload.
+
+        Accepts ``{"csv": "..."} `` (parsed with raw VARCHAR types, exactly
+        like :meth:`CleaningService.submit_csv`) or
+        ``{"columns": {name: [values...]}}``.  ``name`` overrides the table
+        name in both forms.
+        """
+        if not isinstance(payload, dict):
+            raise BadRequest("request body must be a JSON object")
+        name = payload.get("name") or default_name
+        if not isinstance(name, str):
+            raise BadRequest("'name' must be a string")
+        if "csv" in payload:
+            if not isinstance(payload["csv"], str):
+                raise BadRequest("'csv' must be a string of CSV text")
+            table = read_csv_text(payload["csv"], name=name, infer_types=False)
+        elif "columns" in payload:
+            columns = payload["columns"]
+            if not isinstance(columns, dict) or not all(
+                isinstance(v, list) for v in columns.values()
+            ):
+                raise BadRequest("'columns' must map column names to value lists")
+            try:
+                table = Table.from_dict(name, columns)
+            except ValueError as exc:
+                raise BadRequest(str(exc))
+        else:
+            raise BadRequest("request body needs a 'csv' string or a 'columns' mapping")
+        if table.num_columns == 0:
+            raise BadRequest("the submitted table has no columns")
+        return table
+
+    # -- batch jobs -------------------------------------------------------------------
+    def submit_job(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /v1/jobs``: queue one table for cleaning; returns the job id.
+
+        Raises :class:`~repro.service.ServiceSaturated` when bounded
+        admission refuses the job (mapped to 429 upstream).
+        """
+        table = self.parse_table(payload, default_name="job")
+        priority = payload.get("priority", 0)
+        chunk_rows = payload.get("chunk_rows")
+        if not isinstance(priority, int):
+            raise BadRequest("'priority' must be an integer")
+        if chunk_rows is not None and not isinstance(chunk_rows, int):
+            raise BadRequest("'chunk_rows' must be an integer")
+        job = self.service.submit(table, priority=priority, chunk_rows=chunk_rows)
+        self.count("jobs_submitted")
+        return {
+            "job_id": job.job_id,
+            "name": job.name,
+            "status": str(job.status),
+            "rows": table.num_rows,
+            "columns": table.num_columns,
+        }
+
+    def job_status(self, job_id: int) -> Dict[str, Any]:
+        """``GET /v1/jobs/{id}``: lifecycle snapshot plus service stats."""
+        job = self.service.job(job_id)
+        return {
+            "job_id": job.job_id,
+            "name": job.name,
+            "status": str(job.status),
+            "done": job.done,
+            "summary": job.result.summary() if job.result is not None else None,
+            "service": self.service.stats().to_dict(),
+        }
+
+    def job_result(self, job_id: int) -> Dict[str, Any]:
+        """``GET /v1/jobs/{id}/result``: the cleaned table + commented SQL.
+
+        Raises :class:`ResultNotReady` while the job is pending/running; a
+        failed job returns its error (the HTTP layer keeps the 200 — the
+        *request* succeeded, the job did not).
+        """
+        job = self.service.job(job_id)
+        if not job.done or job.result is None:
+            raise ResultNotReady(f"job {job_id} is still {job.status}")
+        result = job.result
+        doc: Dict[str, Any] = {
+            "job_id": job.job_id,
+            "name": job.name,
+            "status": str(result.status),
+            "rows": result.rows,
+            "columns": result.columns,
+            "llm_calls": result.llm_calls,
+            "cell_repairs": result.cell_repairs,
+            "removed_rows": result.removed_rows,
+            "run_seconds": result.run_seconds,
+            "wait_seconds": result.wait_seconds,
+        }
+        if result.status is JobStatus.SUCCEEDED and result.cleaning_result is not None:
+            doc["csv"] = to_csv_text(result.cleaning_result.cleaned_table)
+            doc["sql_script"] = result.cleaning_result.sql_script
+        else:
+            doc["error"] = result.error
+        return doc
+
+    # -- streams ---------------------------------------------------------------------------
+    def submit_stream_batch(self, stream_name: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /v1/streams/{name}/batches``: feed one micro-batch.
+
+        The stream is created on first use.  A full per-stream queue raises
+        :class:`~repro.stream.StreamBackpressure` (mapped to 429 +
+        ``Retry-After`` upstream) — the producer must back off, never the
+        worker pool.
+        """
+        if not stream_name:
+            raise BadRequest("stream name must not be empty")
+        table = self.parse_table(payload, default_name=stream_name)
+        stream = self.streams.get_or_create_stream(stream_name)
+        job = self.streams.submit(stream_name, table, block=False)
+        self.count("batches_submitted")
+        return {
+            "stream": stream_name,
+            "sequence": job.sequence,
+            "rows": table.num_rows,
+            "pending_batches": stream.pending_batches,
+            "max_pending_batches": stream.max_pending_batches,
+        }
+
+    def stream_status(self, stream_name: str) -> Dict[str, Any]:
+        """``GET /v1/streams/{name}``: per-stream progress counters."""
+        stream = self.streams.stream(stream_name)
+        return {
+            "stream": stream_name,
+            "submitted_batches": stream.submitted_batches,
+            "completed_batches": stream.completed_batches,
+            "failed_batches": stream.failed_batches,
+            "pending_batches": stream.pending_batches,
+            "failed": stream.failed,
+            "failure": stream.failure,
+        }
+
+    # -- observability ------------------------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+        }
+
+    def metrics(self) -> Dict[str, Any]:
+        """``GET /metrics``: JSON counters across both services + the cache."""
+        service_stats = self.service.stats()
+        stream_stats = self.streams.stats()
+        with self._counter_lock:
+            counters = dict(self._counters)
+        return {
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "gateway": counters,
+            "jobs": {
+                "submitted": service_stats.jobs_submitted,
+                "succeeded": service_stats.jobs_succeeded,
+                "failed": service_stats.jobs_failed,
+                "cancelled": service_stats.jobs_cancelled,
+                "pending": self.service.pending_jobs,
+                "queue_depth": self.service.queue_depth,
+            },
+            "cache": self.cache.stats(),
+            "streams": {
+                "count": stream_stats.streams,
+                "batches_submitted": stream_stats.batches_submitted,
+                "batches_completed": stream_stats.batches_completed,
+                "batches_failed": stream_stats.batches_failed,
+                "queue_depth": self.streams.pool.queue.pending_count(),
+                "pending_per_stream": {
+                    name: info.get("pending", 0)
+                    for name, info in stream_stats.per_stream.items()
+                },
+            },
+        }

@@ -24,11 +24,12 @@ from repro.service.chunking import ChunkedCleaningResult, ChunkMergeError, clean
 from repro.service.jobs import CleaningJob, JobResult, JobStatus
 from repro.service.pool import WorkerPool
 from repro.service.queue import JobQueue, QueueClosed
-from repro.service.scheduler import CleaningService
+from repro.service.scheduler import CleaningService, ServiceSaturated
 from repro.service.stats import ServiceStats, StatsCollector
 
 __all__ = [
     "CleaningService",
+    "ServiceSaturated",
     "CleaningJob",
     "JobResult",
     "JobStatus",

@@ -25,6 +25,7 @@ from __future__ import annotations
 import threading
 import time
 import traceback
+from collections import OrderedDict
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
@@ -45,6 +46,15 @@ from repro.service.jobs import CleaningJob, JobResult, JobStatus
 from repro.service.pool import WorkerPool
 from repro.service.stats import ServiceStats, StatsCollector
 from repro.sql.database import Database
+
+
+class ServiceSaturated(RuntimeError):
+    """Admission refused: the service already holds ``max_pending_jobs`` unfinished jobs.
+
+    Raised by :meth:`CleaningService.submit` when bounded admission is on —
+    the signal a fronting gateway translates into HTTP 429 so producers shed
+    load instead of queueing unboundedly.
+    """
 
 
 class CleaningService:
@@ -73,10 +83,18 @@ class CleaningService:
         share_cache: bool = True,
         default_chunk_rows: int = 0,
         chunk_workers: int = 1,
+        max_pending_jobs: Optional[int] = None,
+        max_retained_jobs: int = 1024,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_pending_jobs is not None and max_pending_jobs < 1:
+            raise ValueError(f"max_pending_jobs must be >= 1, got {max_pending_jobs}")
+        if max_retained_jobs < 1:
+            raise ValueError(f"max_retained_jobs must be >= 1, got {max_retained_jobs}")
         self.workers = workers
+        self.max_pending_jobs = max_pending_jobs
+        self.max_retained_jobs = max_retained_jobs
         self.llm_factory = llm_factory or SimulatedSemanticLLM
         self.config = config or CleaningConfig()
         self.hil_factory = hil_factory or AutoApprove
@@ -91,6 +109,10 @@ class CleaningService:
 
         self._pool = WorkerPool(workers, execute=self._run_job)
         self._jobs: List[CleaningJob] = []
+        # Lookup registry keyed by job id: unsettled jobs are always present;
+        # settled ones are retained (oldest-first eviction beyond
+        # ``max_retained_jobs``) so network callers can fetch results later.
+        self._jobs_by_id: "OrderedDict[int, CleaningJob]" = OrderedDict()
         self._lock = threading.Lock()
         self._stats = StatsCollector()
 
@@ -137,6 +159,13 @@ class CleaningService:
         with self._lock:
             if self._pool.closed:
                 raise RuntimeError("service has been shut down")
+            if self.max_pending_jobs is not None:
+                pending = sum(1 for tracked in self._jobs_by_id.values() if not tracked.done)
+                if pending >= self.max_pending_jobs:
+                    raise ServiceSaturated(
+                        f"service already has {pending} unfinished jobs "
+                        f"(max_pending_jobs={self.max_pending_jobs})"
+                    )
             # A new batch (first submission, or everything before it already
             # settled) restarts the throughput wall clock — so idle gaps
             # between batches don't dilute jobs/s — and evicts the settled
@@ -146,6 +175,16 @@ class CleaningService:
                 self._stats.restart_clock()
                 self._jobs.clear()
             self._jobs.append(job)
+            self._jobs_by_id[job.job_id] = job
+            # Unsettled jobs are never evicted, so the registry can only
+            # exceed the cap by the (admission-bounded) in-flight count.
+            while len(self._jobs_by_id) > self.max_retained_jobs:
+                oldest_settled = next(
+                    (jid for jid, tracked in self._jobs_by_id.items() if tracked.done), None
+                )
+                if oldest_settled is None:
+                    break
+                del self._jobs_by_id[oldest_settled]
             # Enqueue under the lock: shutdown() also takes it before closing
             # the pool, so a job can never be tracked but unqueued.
             self._pool.submit(job)
@@ -170,6 +209,32 @@ class CleaningService:
         idle); earlier batches are evicted to keep long-lived services bounded."""
         with self._lock:
             return list(self._jobs)
+
+    def job(self, job_id: int) -> CleaningJob:
+        """Look up a job by id (raises ``KeyError`` for unknown/evicted ids).
+
+        Unlike :attr:`jobs`, the id registry spans batches: a settled job
+        stays fetchable until ``max_retained_jobs`` pushes it out — the
+        contract the HTTP gateway's ``GET /v1/jobs/{id}`` relies on.
+        """
+        with self._lock:
+            if job_id not in self._jobs_by_id:
+                raise KeyError(
+                    f"unknown job id {job_id} (finished jobs are retained up to "
+                    f"{self.max_retained_jobs}; older ones are evicted)"
+                )
+            return self._jobs_by_id[job_id]
+
+    @property
+    def pending_jobs(self) -> int:
+        """Number of tracked jobs that have not reached a terminal state."""
+        with self._lock:
+            return sum(1 for job in self._jobs_by_id.values() if not job.done)
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs sitting in the worker queue, not yet claimed by a worker."""
+        return self._pool.queue.pending_count()
 
     def wait_all(self, timeout: Optional[float] = None) -> List[JobResult]:
         """Block until every current-batch job is terminal; results in submit order."""

@@ -50,6 +50,20 @@ class BinaryOp(Expression):
 
 
 @dataclass
+class Like(Expression):
+    """``operand LIKE pattern [ESCAPE escape]``.
+
+    ``escape`` names a single character that makes the following ``%``/``_``
+    (or the escape character itself) literal.  Plain ``LIKE`` may also appear
+    as ``BinaryOp('LIKE', …)`` when an AST is built by hand; the parser always
+    produces this node.
+    """
+    operand: Expression
+    pattern: Expression
+    escape: Optional[Expression] = None
+
+
+@dataclass
 class IsNull(Expression):
     operand: Expression
     negated: bool = False

@@ -29,6 +29,7 @@ the benchmarks use this to measure the nested-loop baseline.
 
 from __future__ import annotations
 
+import math
 import re
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -47,6 +48,7 @@ from repro.sql.ast_nodes import (
     InList,
     IsNull,
     Join,
+    Like,
     Literal,
     OrderItem,
     Select,
@@ -431,6 +433,17 @@ class Executor:
             )
         if isinstance(expr, UnaryOp):
             return _apply_unary(expr.op, self._eval_aggregate_expr(expr.operand, group_rows))
+        if isinstance(expr, Like):
+            value = self._eval_aggregate_expr(expr.operand, group_rows)
+            pattern = self._eval_aggregate_expr(expr.pattern, group_rows)
+            escape = (
+                self._eval_aggregate_expr(expr.escape, group_rows)
+                if expr.escape is not None
+                else None
+            )
+            if is_null(value) or is_null(pattern) or (expr.escape is not None and is_null(escape)):
+                return None
+            return _like_match(value, pattern, escape)
         if isinstance(expr, Cast):
             return coerce_value(self._eval_aggregate_expr(expr.operand, group_rows), expr.target)
         if isinstance(expr, FunctionCall):
@@ -576,6 +589,13 @@ class Executor:
             left = self._eval(expr.left, row, window_values, row_index)
             right = self._eval(expr.right, row, window_values, row_index)
             return _apply_binary(expr.op, left, right)
+        if isinstance(expr, Like):
+            value = self._eval(expr.operand, row, window_values, row_index)
+            pattern = self._eval(expr.pattern, row, window_values, row_index)
+            escape = self._eval(expr.escape, row, window_values, row_index) if expr.escape is not None else None
+            if is_null(value) or is_null(pattern) or (expr.escape is not None and is_null(escape)):
+                return None
+            return _like_match(value, pattern, escape)
         if isinstance(expr, IsNull):
             value = self._eval(expr.operand, row, window_values, row_index)
             return (not is_null(value)) if expr.negated else is_null(value)
@@ -682,6 +702,9 @@ def _collect_refs(expr: Expression, out: List[ColumnRef]) -> bool:
     if isinstance(expr, (IsNull, Between)):
         parts = [expr.operand] + ([expr.low, expr.high] if isinstance(expr, Between) else [])
         return all(_collect_refs(p, out) for p in parts)
+    if isinstance(expr, Like):
+        parts = [expr.operand, expr.pattern] + ([expr.escape] if expr.escape is not None else [])
+        return all(_collect_refs(p, out) for p in parts)
     if isinstance(expr, InList):
         return _collect_refs(expr.operand, out) and all(_collect_refs(i, out) for i in expr.items)
     if isinstance(expr, Cast):
@@ -785,6 +808,11 @@ def _hash_keys_build(value: Any) -> Tuple[Tuple[str, Any], ...]:
     additionally under ``("x", float)`` so a *number* on the probe side can
     reach them (string-vs-string comparison stays textual, exactly like
     ``=``).  NULLs never match, so they produce no keys at all.
+
+    ``'nan'``/``'inf'`` strings are *not* numbers under ``_numeric_pair``, so
+    they carry no ``"x"`` key; non-finite floats (±inf) fall back to textual
+    comparison against strings, so they carry a ``"s"`` key too — both keep
+    bucket membership identical to :func:`_sql_equal`.
     """
     if is_null(value):
         return ()
@@ -795,12 +823,17 @@ def _hash_keys_build(value: Any) -> Tuple[Tuple[str, Any], ...]:
         # the same float, so the numeric key already covers it.
         return (("n", float(value)), ("s", str(value)))
     if isinstance(value, (int, float)):
+        if not math.isfinite(value):
+            return (("n", float(value)), ("s", str(value)))
         return (("n", float(value)),)
     text = str(value)
     try:
-        return (("s", text), ("x", float(text.strip())))
+        number = float(text.strip())
     except ValueError:
         return (("s", text),)
+    if not math.isfinite(number):
+        return (("s", text),)
+    return (("s", text), ("x", number))
 
 
 def _hash_keys_probe(value: Any) -> Tuple[Tuple[str, Any], ...]:
@@ -812,12 +845,17 @@ def _hash_keys_probe(value: Any) -> Tuple[Tuple[str, Any], ...]:
         return (("n", number), ("x", number), ("s", str(value)))
     if isinstance(value, (int, float)):
         number = float(value)
+        if not math.isfinite(number):
+            return (("n", number), ("s", str(value)))
         return (("n", number), ("x", number))
     text = str(value)
     try:
-        return (("s", text), ("n", float(text.strip())))
+        number = float(text.strip())
     except ValueError:
         return (("s", text),)
+    if not math.isfinite(number):
+        return (("s", text),)
+    return (("s", text), ("n", number))
 
 
 def _probe(index: Dict[Tuple[str, Any], List[int]], value: Any) -> Sequence[int]:
@@ -851,6 +889,8 @@ def _hashable(value: Any) -> Any:
 
 
 def _sort_key(value: Any, descending: bool) -> Tuple:
+    # NULL and NaN (is_null covers both) sort after every real value in
+    # either direction, so sort keys stay total over floats incl. NaN/inf.
     if is_null(value):
         return (1, "")
     if isinstance(value, bool):
@@ -878,10 +918,14 @@ def _numeric_pair(left: Any, right: Any) -> Optional[Tuple[float, float]]:
         return None
 
     def parse_num(v: Any) -> Optional[float]:
+        # Python's float() accepts 'nan'/'inf'/'Infinity', but SQL numeric
+        # literals don't — treating those strings as numbers made
+        # 'nan' >= 5 true (NaN probes all compare False, see _compare).
         try:
-            return float(str(v).strip())
+            parsed = float(str(v).strip())
         except (TypeError, ValueError):
             return None
+        return parsed if math.isfinite(parsed) else None
 
     a, b = to_num(left), to_num(right)
     if a is not None and b is not None:
@@ -905,6 +949,14 @@ def _sql_equal(left: Any, right: Any) -> bool:
 
 
 def _compare(left: Any, right: Any) -> Optional[int]:
+    """Deterministic total order: -1/0/1, with NaN after every other value.
+
+    NaN operands would otherwise fail all three probes below and read as
+    "equal to everything", collapsing ``>=``/``<=`` and ORDER BY into
+    nonsense.  NULL-semantics normally filter NaN out before it gets here,
+    but direct float NaN (or a non-finite arithmetic result) must still get
+    a trichotomous answer.
+    """
     pair = _numeric_pair(left, right)
     if pair is not None:
         a, b = pair
@@ -915,6 +967,12 @@ def _compare(left: Any, right: Any) -> Optional[int]:
                 pass
         except TypeError:
             a, b = str(left), str(right)
+    a_nan = isinstance(a, float) and math.isnan(a)
+    b_nan = isinstance(b, float) and math.isnan(b)
+    if a_nan or b_nan:
+        if a_nan and b_nan:
+            return 0
+        return 1 if a_nan else -1
     if a < b:
         return -1
     if a > b:
@@ -922,16 +980,44 @@ def _compare(left: Any, right: Any) -> Optional[int]:
     return 0
 
 
-def _like_to_regex(pattern: str) -> str:
+def _like_to_regex(pattern: str, escape: Optional[str] = None) -> str:
+    """Translate a LIKE pattern to an anchored regex.
+
+    With an ``ESCAPE`` character, the character following it is taken
+    literally — the standard way to match a literal ``%`` or ``_`` (or the
+    escape character itself).  A pattern ending in a dangling escape is
+    malformed.
+    """
     out = []
-    for ch in pattern:
+    i = 0
+    n = len(pattern)
+    while i < n:
+        ch = pattern[i]
+        if escape is not None and ch == escape:
+            if i + 1 >= n:
+                raise ExecutionError(f"LIKE pattern {pattern!r} ends with its ESCAPE character")
+            out.append(re.escape(pattern[i + 1]))
+            i += 2
+            continue
         if ch == "%":
             out.append(".*")
         elif ch == "_":
             out.append(".")
         else:
             out.append(re.escape(ch))
+        i += 1
     return "^" + "".join(out) + "$"
+
+
+def _like_match(value: Any, pattern: Any, escape: Any = None) -> bool:
+    """Non-null LIKE evaluation shared by the Like node and BinaryOp('LIKE')."""
+    escape_char: Optional[str] = None
+    if escape is not None:
+        escape_char = str(escape)
+        if len(escape_char) != 1:
+            raise ExecutionError(f"ESCAPE must be a single character, got {escape_char!r}")
+    regex = _like_to_regex(str(pattern), escape_char)
+    return re.match(regex, str(value), flags=re.IGNORECASE) is not None
 
 
 def _apply_unary(op: str, value: Any) -> Any:
@@ -956,7 +1042,7 @@ def _apply_binary(op: str, left: Any, right: Any) -> Any:
     if op == "LIKE":
         if is_null(left) or is_null(right):
             return None
-        return re.match(_like_to_regex(str(right)), str(left), flags=re.IGNORECASE) is not None
+        return _like_match(left, right)
     if is_null(left) or is_null(right):
         return None
     if op == "=":
@@ -1008,6 +1094,8 @@ def _contains_aggregate(expr: Expression) -> bool:
         return any(_contains_aggregate(p) for p in parts)
     if isinstance(expr, (IsNull, Between)):
         return _contains_aggregate(expr.operand)
+    if isinstance(expr, Like):
+        return _contains_aggregate(expr.operand) or _contains_aggregate(expr.pattern)
     if isinstance(expr, InList):
         return _contains_aggregate(expr.operand) or any(_contains_aggregate(i) for i in expr.items)
     return False
@@ -1037,6 +1125,11 @@ def _collect_windows(expr: Expression, out: List[WindowFunction]) -> None:
             _collect_windows(expr.operand, out)
     elif isinstance(expr, (IsNull, Between)):
         _collect_windows(expr.operand, out)
+    elif isinstance(expr, Like):
+        _collect_windows(expr.operand, out)
+        _collect_windows(expr.pattern, out)
+        if expr.escape is not None:
+            _collect_windows(expr.escape, out)
     elif isinstance(expr, InList):
         _collect_windows(expr.operand, out)
         for i in expr.items:

@@ -27,6 +27,7 @@ from repro.sql.ast_nodes import (
     InList,
     IsNull,
     Join,
+    Like,
     Literal,
     OrderItem,
     Select,
@@ -353,7 +354,10 @@ class Parser:
             return InList(left, items, negated)
         if self._match_keyword("LIKE"):
             right = self._parse_additive()
-            expr: Expression = BinaryOp("LIKE", left, right)
+            escape = None
+            if self._match_keyword("ESCAPE"):
+                escape = self._parse_additive()
+            expr: Expression = Like(left, right, escape)
             return UnaryOp("NOT", expr) if negated else expr
         self._expect_keyword("BETWEEN")
         low = self._parse_additive()

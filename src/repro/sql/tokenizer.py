@@ -28,7 +28,7 @@ class TokenType(enum.Enum):
 KEYWORDS = {
     "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
     "LIMIT", "OFFSET", "AS", "AND", "OR", "NOT", "IN", "IS", "NULL", "LIKE",
-    "BETWEEN", "CASE", "WHEN", "THEN", "ELSE", "END", "CAST", "ASC", "DESC",
+    "ESCAPE", "BETWEEN", "CASE", "WHEN", "THEN", "ELSE", "END", "CAST", "ASC", "DESC",
     "CREATE", "OR", "REPLACE", "TABLE", "VIEW", "DROP", "IF", "EXISTS",
     "INSERT", "INTO", "VALUES", "OVER", "PARTITION", "ROWS", "TRUE", "FALSE",
     "UNION", "ALL", "JOIN", "ON", "INNER", "LEFT", "OUTER", "QUALIFY",

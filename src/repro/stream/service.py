@@ -282,6 +282,37 @@ class StreamService:
                 raise KeyError(f"Unknown stream {name!r}; streams: {sorted(self._streams)}")
             return self._streams[name]
 
+    def get_or_create_stream(self, name: str, **kwargs: Any) -> ManagedStream:
+        """Return the named stream, registering it on first use.
+
+        The named-stream registry pattern network gateways need: the first
+        batch posted to a stream name creates it, later batches reuse it.
+        Creation kwargs are only applied by whichever caller wins the race;
+        they are ignored when the stream already exists.
+        """
+        with self._lock:
+            stream = self._streams.get(name)
+        if stream is not None:
+            return stream
+        try:
+            return self.create_stream(name, **kwargs)
+        except ValueError:
+            # Only a lost create race is recoverable (the winner's stream is
+            # authoritative); any other ValueError is a real argument error.
+            with self._lock:
+                existing = self._streams.get(name)
+            if existing is not None:
+                return existing
+            raise
+
+    def has_stream(self, name: str) -> bool:
+        with self._lock:
+            return name in self._streams
+
+    def stream_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._streams)
+
     # -- submission -------------------------------------------------------------------
     def submit(
         self,

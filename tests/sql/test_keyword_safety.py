@@ -1,0 +1,78 @@
+"""Regression tests: SQL-keyword column names survive generation and parsing.
+
+``quote_identifier`` used to leave lowercase keywords (``select``, ``order``,
+``group``, ``from``, …) unquoted, so any generated cleaning SQL touching such
+a column failed to tokenize.  Every name in the tokenizer's ``KEYWORDS`` set
+must now round-trip through the SQL generator and the parser.
+"""
+
+import pytest
+
+from repro.core.sqlgen import (
+    case_when_null,
+    quote_identifier,
+    select_with_replacements,
+)
+from repro.dataframe.table import Table
+from repro.sql.ast_nodes import ColumnRef
+from repro.sql.database import Database
+from repro.sql.parser import parse, parse_expression
+from repro.sql.tokenizer import KEYWORDS
+
+
+class TestQuoteIdentifier:
+    def test_plain_lowercase_names_stay_bare(self):
+        assert quote_identifier("city") == "city"
+        assert quote_identifier("zip_code") == "zip_code"
+
+    def test_mixed_case_and_spaces_are_quoted(self):
+        assert quote_identifier("City") == '"City"'
+        assert quote_identifier("zip code") == '"zip code"'
+
+    @pytest.mark.parametrize("keyword", sorted(KEYWORDS))
+    def test_keywords_are_quoted_in_any_case(self, keyword):
+        for spelling in (keyword.lower(), keyword.upper(), keyword.capitalize()):
+            quoted = quote_identifier(spelling)
+            assert quoted == f'"{spelling}"', (
+                f"{spelling!r} collides with the {keyword} keyword and must be quoted"
+            )
+
+
+class TestKeywordRoundTrip:
+    @pytest.mark.parametrize("keyword", sorted(KEYWORDS))
+    def test_every_keyword_parses_back_as_a_column_reference(self, keyword):
+        name = keyword.lower()
+        expr = parse_expression(quote_identifier(name))
+        assert isinstance(expr, ColumnRef)
+        assert expr.name == name
+
+    @pytest.mark.parametrize("keyword", sorted(KEYWORDS))
+    def test_every_keyword_survives_a_generated_statement(self, keyword):
+        name = keyword.lower()
+        statement = select_with_replacements(
+            source_table="src",
+            target_table="dst",
+            columns=[name, "plain"],
+            replacements={name: case_when_null(name, ["N/A"])},
+            comments=[f"clean the {name!r} column"],
+        )
+        parsed = parse(statement)
+        assert parsed.name == "dst"
+
+    def test_generated_statement_executes_on_keyword_columns(self):
+        db = Database()
+        db.register(
+            Table.from_dict(
+                "src",
+                {"select": ["a", "N/A"], "order": [2, 1], "group": ["x", "y"]},
+            )
+        )
+        statement = select_with_replacements(
+            source_table="src",
+            target_table="dst",
+            columns=["select", "order", "group"],
+            replacements={"select": case_when_null("select", ["N/A"])},
+        )
+        db.sql(statement)
+        result = db.sql('SELECT "select", "group" FROM dst ORDER BY "order"')
+        assert result.to_dict() == {"select": [None, "a"], "group": ["y", "x"]}
