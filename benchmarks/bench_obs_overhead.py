@@ -1,0 +1,139 @@
+"""Observability overhead: the cleaning pipeline with tracing off vs on.
+
+``repro.obs`` instruments every layer the pipeline touches — per-operator
+and per-target spans, per-plan-node SQL timings, LLM/cache counters — so the
+question this script answers is what that instrumentation costs when it is
+actually recording.  Each case cleans one registry benchmark twice with the
+same deterministic LLM:
+
+* **baseline** — tracing disabled (the default): every ``span()`` resolves
+  to the shared no-op span;
+* **optimised** — tracing enabled with an in-memory store (the server's
+  per-request configuration), full span trees recorded.
+
+"optimised" is deliberately the *instrumented* arm so the report's
+``speedup`` column reads as the traced/untraced ratio (≈ 1.0 when tracing
+is cheap, below 1.0 by the overhead fraction).  Each case also checks
+parity (the traced run must produce byte-identical cleaned CSV) and the
+script exits non-zero if any case's overhead reaches ``--max-overhead-pct``
+(default 5 %), which is the bound the committed ``BENCH_obs.json`` pins.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py            # full
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --smoke    # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+import benchlib
+
+from repro import obs
+from repro.core import CocoonCleaner
+from repro.dataframe.io import to_csv_text
+from repro.datasets import load_dataset
+from repro.llm.simulated import SimulatedSemanticLLM
+
+# (dataset, scale) — the Table 1 cleaning grid at benchmark scales.
+FULL_CASES = [
+    ("hospital", 0.1),
+    ("flights", 0.1),
+    ("beers", 0.1),
+    ("rayyan", 0.1),
+    ("movies", 0.1),
+]
+SMOKE_CASES = [
+    ("hospital", 0.05),
+    ("beers", 0.05),
+]
+
+
+def clean_once(table):
+    """One full pipeline run with a fresh deterministic LLM."""
+    return CocoonCleaner(llm=SimulatedSemanticLLM()).clean(table)
+
+
+def timed_clean(table, enabled: bool, repeats: int):
+    """Best-of-``repeats`` wall time with tracing set to ``enabled``."""
+    tracer = obs.get_tracer()
+    previous = tracer.enabled
+    tracer.enabled = enabled
+    try:
+        seconds = benchlib.measure(lambda: clean_once(table), repeats)
+        result = clean_once(table)
+    finally:
+        tracer.enabled = previous
+        tracer.clear()
+    return seconds, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="Small cases for CI")
+    parser.add_argument("--repeats", type=int, default=3, help="Best-of repeats (default: 3)")
+    parser.add_argument(
+        "--max-overhead-pct",
+        type=float,
+        default=5.0,
+        help="Fail when any case's tracing overhead reaches this (default: 5)",
+    )
+    parser.add_argument("--out", default="BENCH_obs.json", help="Report path")
+    args = parser.parse_args(argv)
+
+    cases = SMOKE_CASES if args.smoke else FULL_CASES
+    results = []
+    worst = 0.0
+    for dataset, scale in cases:
+        table = load_dataset(dataset, seed=0, scale=scale).dirty
+        untraced_seconds, untraced = timed_clean(table, enabled=False, repeats=args.repeats)
+        traced_seconds, traced = timed_clean(table, enabled=True, repeats=args.repeats)
+        parity = to_csv_text(untraced.cleaned_table) == to_csv_text(traced.cleaned_table)
+        overhead_pct = (traced_seconds - untraced_seconds) / untraced_seconds * 100.0
+        worst = max(worst, overhead_pct)
+        case = benchlib.case_result(
+            name=f"clean-{dataset}-scale{scale}",
+            params={"dataset": dataset, "scale": scale, "rows": table.num_rows},
+            baseline_seconds=untraced_seconds,
+            optimised_seconds=traced_seconds,
+            output_rows=traced.cleaned_table.num_rows,
+            parity=parity,
+        )
+        case["overhead_pct"] = round(overhead_pct, 2)
+        results.append(case)
+
+    report = benchlib.write_report(
+        args.out,
+        benchmark="obs_overhead",
+        config={
+            "mode": "smoke" if args.smoke else "full",
+            "repeats": args.repeats,
+            "max_overhead_pct": args.max_overhead_pct,
+            "baseline": "tracing disabled (no-op spans)",
+            "optimised": "tracing enabled, in-memory span store",
+        },
+        cases=results,
+    )
+    benchlib.print_cases(report)
+    print(f"worst tracing overhead: {worst:+.2f}%", file=sys.stderr)
+
+    if any(not case["parity"] for case in results):
+        print("PARITY FAILURE: traced run changed the cleaned output", file=sys.stderr)
+        return 1
+    if worst >= args.max_overhead_pct:
+        print(
+            f"OVERHEAD FAILURE: {worst:.2f}% >= {args.max_overhead_pct}% bound",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,7 @@ from repro.core.result import CellRepair, DetectionFinding, OperatorResult
 from repro.dataframe.schema import is_null
 from repro.dataframe.table import Table
 from repro.llm.parsing import ResponseParseError, extract_json, parse_mapping_yaml
+from repro.obs import span as obs_span
 from repro.sql.errors import SQLError
 
 
@@ -29,6 +30,15 @@ class CleaningOperator(abc.ABC):
 
     def __init__(self) -> None:
         self._llm_calls = 0
+
+    def target_span(self, target: str, **attrs: Any):
+        """Span covering the work on one target (column, table or FD candidate).
+
+        Nested under the per-operator span opened by
+        :func:`repro.core.pipeline.run_operators`, so traces read
+        ``operator.dmv`` → ``operator.dmv.target`` per column.
+        """
+        return obs_span(f"operator.{self.issue_type}.target", target=target, **attrs)
 
     # -- abstract interface -------------------------------------------------------
     @abc.abstractmethod

@@ -33,7 +33,8 @@ class ColumnTypeOperator(CleaningOperator):
             if column_profile.dtype is not ColumnType.VARCHAR:
                 # Already a typed column in the catalog; nothing to cast.
                 continue
-            results.append(self._run_column(context, hil, column_name))
+            with self.target_span(column_name):
+                results.append(self._run_column(context, hil, column_name))
         return results
 
     def _run_column(self, context: CleaningContext, hil: HumanInTheLoop, column_name: str) -> OperatorResult:

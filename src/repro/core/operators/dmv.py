@@ -31,7 +31,8 @@ class DisguisedMissingValueOperator(CleaningOperator):
                 continue
             if column_profile.distinct_count > context.config.max_categorical_distinct:
                 continue
-            results.append(self._run_column(context, hil, column_name))
+            with self.target_span(column_name):
+                results.append(self._run_column(context, hil, column_name))
         return results
 
     def _run_column(self, context: CleaningContext, hil: HumanInTheLoop, column_name: str) -> OperatorResult:

@@ -27,11 +27,22 @@ class DuplicationOperator(CleaningOperator):
         result = OperatorResult(issue_type=self.issue_type, target=context.base_table)
         profile = context.profile(refresh=True)
         duplicate_rows = profile.duplicate_rows
-        evidence = f"{duplicate_rows} fully duplicated rows"
         if duplicate_rows == 0:
             result.skipped_reason = "no duplicated rows detected statistically"
             return [result]
 
+        with self.target_span(context.base_table, duplicate_rows=duplicate_rows):
+            return self._review_and_clean(context, hil, result, duplicate_rows, profile)
+
+    def _review_and_clean(
+        self,
+        context: CleaningContext,
+        hil: HumanInTheLoop,
+        result: OperatorResult,
+        duplicate_rows: int,
+        profile,
+    ) -> List[OperatorResult]:
+        evidence = f"{duplicate_rows} fully duplicated rows"
         review_prompt = prompts.duplication_review(context.base_table, duplicate_rows, profile.duplicate_samples)
         review = self.ask_json(context, review_prompt, purpose="duplication_review")
         erroneous = bool(review and review.get("Erroneous"))

@@ -54,7 +54,8 @@ class FunctionalDependencyOperator(CleaningOperator):
             candidates.append(candidate)
         candidates = candidates[: context.config.fd_max_candidates]
         for candidate in candidates:
-            results.append(self._run_candidate(context, hil, candidate))
+            with self.target_span(f"{candidate.determinant} -> {candidate.dependent}"):
+                results.append(self._run_candidate(context, hil, candidate))
         return results
 
     def _run_candidate(

@@ -28,7 +28,8 @@ class NumericOutlierOperator(CleaningOperator):
             column_profile = profile.column(column_name)
             if not column_profile.is_numeric:
                 continue
-            results.append(self._run_column(context, hil, column_name))
+            with self.target_span(column_name):
+                results.append(self._run_column(context, hil, column_name))
         return results
 
     def _run_column(self, context: CleaningContext, hil: HumanInTheLoop, column_name: str) -> OperatorResult:

@@ -37,7 +37,8 @@ class PatternOutlierOperator(CleaningOperator):
                 continue
             if column_profile.distinct_count > context.config.max_categorical_distinct:
                 continue
-            results.append(self._run_column(context, hil, column_name))
+            with self.target_span(column_name):
+                results.append(self._run_column(context, hil, column_name))
         return results
 
     def _verify_pattern_counts(self, context: CleaningContext, column: str, patterns: List[str]) -> List[Tuple[str, int]]:

@@ -34,7 +34,8 @@ class ColumnUniquenessOperator(CleaningOperator):
             # exactly-unique columns need no cleaning.
             if ratio < threshold or ratio >= 1.0 or column_profile.row_count == 0:
                 continue
-            results.append(self._run_column(context, hil, column_name, ratio))
+            with self.target_span(column_name):
+                results.append(self._run_column(context, hil, column_name, ratio))
         return results
 
     def _run_column(

@@ -17,6 +17,7 @@ from repro.dataframe.schema import ColumnType
 from repro.dataframe.table import Table
 from repro.llm.base import LLMClient
 from repro.llm.simulated import SimulatedSemanticLLM
+from repro.obs import span as obs_span
 from repro.sql.database import Database
 
 
@@ -39,7 +40,13 @@ def run_operators(
     for operator in operators:
         if not context.config.issue_enabled(operator.issue_type):
             continue
-        results.extend(operator.run(context, hil))
+        with obs_span(f"operator.{operator.issue_type}") as sp:
+            operator_results = operator.run(context, hil)
+            sp.annotate(
+                targets=len(operator_results),
+                llm_calls=sum(r.llm_calls for r in operator_results),
+            )
+        results.extend(operator_results)
     return results
 
 
@@ -82,7 +89,11 @@ class CocoonCleaner:
         context = CleaningContext(self.database, self.llm, base_name, config=self.config)
 
         llm_calls_before = self.llm.call_count
-        operator_results = run_operators(context, self.hil)
+        with obs_span(
+            "pipeline.clean", table=table.name or base_name, rows=table.num_rows
+        ) as sp:
+            operator_results = run_operators(context, self.hil)
+            sp.annotate(llm_calls=self.llm.call_count - llm_calls_before)
 
         cleaned_with_ids = context.current_table()
         cleaned = cleaned_with_ids.drop([ROW_ID_COLUMN]).rename(table.name)

@@ -3,9 +3,17 @@
 from __future__ import annotations
 
 import abc
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional
+
+from repro.obs import record_llm_call
+
+#: Depth of nested ``complete`` calls on this thread: a caching client
+#: delegating to its inner model is *one* logical LLM call, and span/metric
+#: accounting must agree with the outer client's ``call_count``.
+_active_calls = threading.local()
 
 
 @dataclass
@@ -65,9 +73,16 @@ class LLMClient(abc.ABC):
 
     def complete(self, prompt: str, system: Optional[str] = None, purpose: str = "") -> LLMResponse:
         """Run one completion and record it in :attr:`history`."""
+        depth = getattr(_active_calls, "depth", 0)
+        _active_calls.depth = depth + 1
         start = time.perf_counter()
-        text = self._complete(prompt, system=system)
+        try:
+            text = self._complete(prompt, system=system)
+        finally:
+            _active_calls.depth = depth
         elapsed = time.perf_counter() - start
+        if depth == 0:
+            record_llm_call(purpose, elapsed)
         self.history.append(
             CallRecord(prompt=prompt, response=text, model=self.model_name, purpose=purpose, latency_seconds=elapsed)
         )

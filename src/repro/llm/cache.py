@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 
 from repro.llm.base import LLMClient
+from repro.obs import record_cache
 
 
 def prompt_cache_key(prompt: str, system: Optional[str] = None, namespace: str = "") -> str:
@@ -84,9 +85,13 @@ class PromptCacheStore:
         with self._lock:
             if key in self._cache:
                 self.hits += 1
-                return self._cache[key]
-            self.misses += 1
-            return None
+                cached: Optional[str] = self._cache[key]
+            else:
+                self.misses += 1
+                cached = None
+        # Span/registry accounting happens outside the store lock.
+        record_cache(hit=cached is not None)
+        return cached
 
     def put(self, key: str, text: str) -> None:
         """Insert a response; persists when the unflushed batch is full."""

@@ -1,0 +1,84 @@
+"""``python -m repro.obs`` — summarise a JSON-lines trace file.
+
+Usage::
+
+    python -m repro.obs trace.jsonl              # aggregate summary
+    python -m repro.obs trace.jsonl --top 20
+    python -m repro.obs trace.jsonl --flame      # per-trace flame summaries
+    python -m repro.obs trace.jsonl --validate   # schema check only
+
+Trace files are produced by configuring the tracer with an export path
+(``repro.obs.configure(enabled=True, export_path=...)`` or the server's
+``--trace-export`` flag); every finished top-level span tree is one line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+from repro.obs.report import render_file_summary, render_flame
+from repro.obs.schema import TraceSchemaError, validate_trace_lines
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarise a repro.obs JSON-lines trace file.",
+    )
+    parser.add_argument("trace_file", help="Path to the trace file ('-' reads stdin)")
+    parser.add_argument("--top", type=int, default=10, help="Rows per ranking (default: 10)")
+    parser.add_argument(
+        "--flame",
+        action="store_true",
+        help="Also print the indented flame summary of every trace",
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="Only validate the file against the trace schema and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.top < 1:
+        print("error: --top must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        if args.trace_file == "-":
+            docs = validate_trace_lines(sys.stdin, source="stdin")
+        else:
+            with open(args.trace_file, "r", encoding="utf-8") as handle:
+                docs = validate_trace_lines(handle, source=args.trace_file)
+    except FileNotFoundError:
+        print(f"error: no such trace file: {args.trace_file}", file=sys.stderr)
+        return 2
+    except TraceSchemaError as exc:
+        print(f"error: invalid trace file: {exc}", file=sys.stderr)
+        return 1
+    try:
+        if args.validate:
+            print(f"{args.trace_file}: {len(docs)} trace lines, schema ok")
+            return 0
+        if not docs:
+            print("trace file is empty")
+            return 0
+        print(render_file_summary(docs, top=args.top))
+        if args.flame:
+            for doc in docs:
+                print()
+                print(f"--- trace {doc['trace_id']} ---")
+                print(render_flame(doc))
+    except BrokenPipeError:
+        # Downstream (e.g. ``| head``) closed the pipe; silence the shutdown
+        # so the pipeline's exit status reflects the reader, not us.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m
+    sys.exit(main())

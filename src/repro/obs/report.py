@@ -1,0 +1,181 @@
+"""Human-readable renderings of span trees and trace files.
+
+Three consumers:
+
+* :func:`render_flame` — one job's span tree as an indented flame summary
+  (wall / CPU / LLM / cache per node), used by ``python -m repro.obs`` and
+  handy in tests and notebooks;
+* :func:`render_explain` — a ``sql.query`` span as an ``EXPLAIN ANALYZE``
+  style plan report (one line per plan node with timing and row counts),
+  returned by :meth:`repro.sql.database.Database.explain_analyze`;
+* :func:`render_file_summary` — aggregate view over a JSON-lines trace
+  file: top span names by cumulative wall time, the LLM/cache breakdown,
+  and the slowest SQL plan nodes.
+
+Everything here consumes the *dict* form of spans (``Span.to_dict`` /
+validated trace lines), so the CLI works on files from another process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    return f"{seconds * 1000.0:.2f}ms"
+
+
+def _span_counters_note(doc: Dict[str, Any]) -> str:
+    notes = []
+    for key, label in (("llm_calls", "llm"), ("cache_hits", "hit"), ("cache_misses", "miss")):
+        value = doc["counters"].get(key)
+        if value:
+            notes.append(f"{label}={value}")
+    if doc.get("status") == "error":
+        notes.append("ERROR")
+    return f" [{', '.join(notes)}]" if notes else ""
+
+
+def _walk(doc: Dict[str, Any], depth: int = 0):
+    yield depth, doc
+    for child in doc.get("children", []):
+        yield from _walk(child, depth + 1)
+
+
+def render_flame(doc: Dict[str, Any], max_depth: int = 12) -> str:
+    """One span tree as an indented per-node summary (depth-limited)."""
+    root_wall = doc["wall_seconds"] or 1e-12
+    lines = []
+    for depth, node in _walk(doc):
+        if depth > max_depth:
+            continue
+        share = node["wall_seconds"] / root_wall * 100.0
+        attrs = node.get("attrs", {})
+        detail = ""
+        interesting = {k: v for k, v in attrs.items() if k in ("target", "table", "rows", "rows_in", "rows_out", "kind", "strategy", "purpose", "job_id", "sequence", "stream", "column")}
+        if interesting:
+            detail = " (" + ", ".join(f"{k}={v}" for k, v in sorted(interesting.items())) + ")"
+        lines.append(
+            f"{'  ' * depth}{node['name']}{detail}  "
+            f"{_fmt_seconds(node['wall_seconds'])} wall / {_fmt_seconds(node['cpu_seconds'])} cpu"
+            f"  {share:5.1f}%{_span_counters_note(node)}"
+        )
+    return "\n".join(lines)
+
+
+def _plan_node_label(node: Dict[str, Any]) -> str:
+    attrs = node.get("attrs", {})
+    bits = [node["name"]]
+    for key in ("table", "kind", "strategy", "function"):
+        if key in attrs:
+            bits.append(str(attrs[key]))
+    rows_in = attrs.get("rows_in")
+    rows_out = attrs.get("rows_out", attrs.get("rows"))
+    if rows_in is not None and rows_out is not None:
+        bits.append(f"rows {rows_in} -> {rows_out}")
+    elif rows_out is not None:
+        bits.append(f"rows={rows_out}")
+    return " ".join(bits)
+
+
+def render_explain(doc: Dict[str, Any]) -> str:
+    """An ``EXPLAIN ANALYZE``-style report for one ``sql.query`` span."""
+    total = doc["wall_seconds"] or 1e-12
+    statement = doc.get("attrs", {}).get("statement", "")
+    header = f"QUERY  {_fmt_seconds(doc['wall_seconds'])} total"
+    if statement:
+        header += f"\n  {statement}"
+    lines = [header]
+    for depth, node in _walk(doc):
+        if depth == 0:
+            continue
+        label = _plan_node_label(node)
+        pct = node["wall_seconds"] / total * 100.0
+        pad = "  " * depth
+        dots = max(2, 54 - len(pad) - len(label))
+        lines.append(
+            f"{pad}{label} {'.' * dots} {_fmt_seconds(node['wall_seconds'])} ({pct:.1f}%)"
+        )
+    if len(lines) == 1:
+        lines.append("  (no recorded plan nodes)")
+    return "\n".join(lines)
+
+
+def summarise_spans(docs: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate statistics over many span trees (the CLI's data model)."""
+    by_name: Dict[str, Dict[str, float]] = {}
+    llm_by_purpose: Dict[str, int] = {}
+    cache = {"hits": 0, "misses": 0}
+    sql_nodes: List[Tuple[float, str]] = []
+    traces = 0
+    total_wall = 0.0
+    errors = 0
+    for doc in docs:
+        traces += 1
+        total_wall += doc["wall_seconds"]
+        for depth, node in _walk(doc):
+            entry = by_name.setdefault(
+                node["name"], {"count": 0, "wall_seconds": 0.0, "cpu_seconds": 0.0}
+            )
+            entry["count"] += 1
+            entry["wall_seconds"] += node["wall_seconds"]
+            entry["cpu_seconds"] += node["cpu_seconds"]
+            if node.get("status") == "error":
+                errors += 1
+            counters = node.get("counters", {})
+            cache["hits"] += counters.get("cache_hits", 0)
+            cache["misses"] += counters.get("cache_misses", 0)
+            for key, value in counters.items():
+                if key.startswith("llm:"):
+                    purpose = key[len("llm:"):]
+                    llm_by_purpose[purpose] = llm_by_purpose.get(purpose, 0) + int(value)
+            if node["name"].startswith("sql.") and node["name"] != "sql.query":
+                sql_nodes.append((node["wall_seconds"], _plan_node_label(node)))
+    llm_total = sum(llm_by_purpose.values())
+    requests = cache["hits"] + cache["misses"]
+    return {
+        "traces": traces,
+        "total_wall_seconds": total_wall,
+        "errors": errors,
+        "by_name": by_name,
+        "llm_calls": llm_total,
+        "llm_by_purpose": llm_by_purpose,
+        "cache": {**cache, "hit_rate": cache["hits"] / requests if requests else 0.0},
+        "sql_nodes": sorted(sql_nodes, reverse=True),
+    }
+
+
+def render_file_summary(docs: List[Dict[str, Any]], top: int = 10) -> str:
+    """The ``python -m repro.obs`` report over a validated trace file."""
+    summary = summarise_spans(docs)
+    lines = [
+        f"traces      : {summary['traces']} "
+        f"({_fmt_seconds(summary['total_wall_seconds'])} total wall, "
+        f"{summary['errors']} error spans)",
+    ]
+    lines.append("")
+    lines.append(f"top spans by cumulative wall time (top {top}):")
+    ranked = sorted(
+        summary["by_name"].items(), key=lambda item: item[1]["wall_seconds"], reverse=True
+    )
+    for name, entry in ranked[:top]:
+        lines.append(
+            f"  {name:<32} {_fmt_seconds(entry['wall_seconds']):>10}  "
+            f"x{int(entry['count'])}  cpu {_fmt_seconds(entry['cpu_seconds'])}"
+        )
+    lines.append("")
+    cache = summary["cache"]
+    lines.append(
+        f"llm         : {summary['llm_calls']} calls; cache {cache['hits']} hits / "
+        f"{cache['misses']} misses ({cache['hit_rate']:.1%} hit rate)"
+    )
+    for purpose, count in sorted(summary["llm_by_purpose"].items(), key=lambda kv: -kv[1]):
+        lines.append(f"  llm:{purpose:<28} {count}")
+    if summary["sql_nodes"]:
+        lines.append("")
+        lines.append(f"slowest SQL plan nodes (top {top}):")
+        for wall, label in summary["sql_nodes"][:top]:
+            lines.append(f"  {_fmt_seconds(wall):>10}  {label}")
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Validation of the trace-file schema.
+
+One trace file is JSON lines: each line is one finished top-level span tree
+as produced by :meth:`repro.obs.trace.Span.to_dict`.  The schema here is the
+contract ``docs/observability.md`` documents, the CI ``obs-smoke`` job
+enforces, and ``python -m repro.obs`` relies on when summarising.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+#: field name -> accepted types (None encoded as type(None)).
+_SCALAR_FIELDS = {
+    "name": (str,),
+    "trace_id": (str,),
+    "span_id": (int,),
+    "parent_id": (int, type(None)),
+    "started_at": (int, float),
+    "wall_seconds": (int, float),
+    "cpu_seconds": (int, float),
+    "status": (str,),
+    "error": (str, type(None)),
+}
+
+_ATTR_VALUE_TYPES = (str, int, float, bool, type(None))
+
+
+class TraceSchemaError(ValueError):
+    """A span document does not match the documented trace schema."""
+
+
+def validate_span(doc: Any, path: str = "span") -> None:
+    """Raise :class:`TraceSchemaError` unless ``doc`` is a valid span tree."""
+    if not isinstance(doc, dict):
+        raise TraceSchemaError(f"{path}: expected an object, got {type(doc).__name__}")
+    missing = (set(_SCALAR_FIELDS) | {"attrs", "counters", "children"}) - set(doc)
+    if missing:
+        raise TraceSchemaError(f"{path}: missing fields {sorted(missing)}")
+    for field, types in _SCALAR_FIELDS.items():
+        value = doc[field]
+        if not isinstance(value, types) or isinstance(value, bool):
+            raise TraceSchemaError(
+                f"{path}.{field}: expected {'/'.join(t.__name__ for t in types)}, "
+                f"got {type(value).__name__}"
+            )
+    if doc["status"] not in ("ok", "error"):
+        raise TraceSchemaError(f"{path}.status: must be 'ok' or 'error', got {doc['status']!r}")
+    if doc["wall_seconds"] < 0 or doc["cpu_seconds"] < 0:
+        raise TraceSchemaError(f"{path}: negative duration")
+    attrs = doc["attrs"]
+    if not isinstance(attrs, dict):
+        raise TraceSchemaError(f"{path}.attrs: expected an object")
+    for key, value in attrs.items():
+        if not isinstance(key, str) or not isinstance(value, _ATTR_VALUE_TYPES):
+            raise TraceSchemaError(f"{path}.attrs[{key!r}]: non-scalar attribute value")
+    counters = doc["counters"]
+    if not isinstance(counters, dict):
+        raise TraceSchemaError(f"{path}.counters: expected an object")
+    for key, value in counters.items():
+        if not isinstance(key, str) or isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TraceSchemaError(f"{path}.counters[{key!r}]: counter values must be numbers")
+    children = doc["children"]
+    if not isinstance(children, list):
+        raise TraceSchemaError(f"{path}.children: expected an array")
+    for i, child in enumerate(children):
+        validate_span(child, path=f"{path}.children[{i}]")
+        if child["trace_id"] != doc["trace_id"]:
+            raise TraceSchemaError(
+                f"{path}.children[{i}]: trace_id {child['trace_id']!r} differs from parent"
+            )
+
+
+def validate_trace_lines(lines: Iterable[str], source: str = "trace") -> List[Dict[str, Any]]:
+    """Parse + validate a JSON-lines trace stream; returns the span docs."""
+    docs: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceSchemaError(f"{source}:{lineno}: not valid JSON: {exc}")
+        validate_span(doc, path=f"{source}:{lineno}")
+        docs.append(doc)
+    return docs

@@ -23,6 +23,7 @@ import threading
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.llm.simulated import SimulatedSemanticLLM
 from repro.server.gateway import CleaningGateway
 from repro.server.http import make_server
@@ -79,6 +80,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.0,
         help="Retry-After hint (seconds) sent with 429 responses (default: 1)",
     )
+    parser.add_argument(
+        "--no-tracing",
+        action="store_true",
+        help="Disable per-request/per-job span tracing (metrics stay on)",
+    )
+    parser.add_argument(
+        "--trace-export",
+        default=None,
+        help="Append every finished trace to this JSONL file",
+    )
     parser.add_argument("--verbose", action="store_true", help="Log every request to stderr")
     return parser
 
@@ -93,6 +104,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     latency = args.llm_latency
+    if args.trace_export:
+        obs.configure(export_path=args.trace_export)
 
     def llm_factory():
         return SimulatedSemanticLLM(latency_seconds=latency) if latency > 0 else SimulatedSemanticLLM()
@@ -107,6 +120,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         cache_flush_every=args.flush_every,
         default_chunk_rows=args.chunk_rows,
         retry_after_seconds=args.retry_after,
+        tracing=not args.no_tracing,
     )
     server = make_server(gateway, host=args.host, port=args.port, verbose=args.verbose)
     print(f"repro.server listening on http://{args.host}:{server.port}", flush=True)

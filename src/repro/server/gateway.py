@@ -34,9 +34,21 @@ from repro.dataframe.io import read_csv_text, to_csv_text
 from repro.dataframe.table import Table
 from repro.llm.cache import PromptCacheStore, cached_client
 from repro.llm.simulated import SimulatedSemanticLLM
+from repro.obs import current_ref, get_tracer
+from repro.obs.metrics import MetricsRegistry, prometheus_gauges_from
+from repro.obs.metrics import get_registry as get_default_registry
 from repro.service.jobs import JobStatus
 from repro.service.scheduler import CleaningService
 from repro.stream.service import StreamService
+
+#: Request-level events the gateway always reports, even at zero.
+_EVENT_KEYS = (
+    "requests",
+    "jobs_submitted",
+    "batches_submitted",
+    "rejected_saturated",
+    "rejected_backpressure",
+)
 
 
 class BadRequest(ValueError):
@@ -69,9 +81,19 @@ class CleaningGateway:
         cache_flush_every: int = 32,
         default_chunk_rows: int = 0,
         retry_after_seconds: float = 1.0,
+        metrics_registry: Optional[MetricsRegistry] = None,
+        tracing: bool = True,
     ):
         self.llm_factory = llm_factory or SimulatedSemanticLLM
         self.retry_after_seconds = retry_after_seconds
+        #: Per-request tracing: the HTTP layer forces a ``server.request``
+        #: root for every request when this is set, and the trace follows the
+        #: job through service → pipeline → operators → SQL plan nodes.
+        self.tracing = tracing
+        # One registry per gateway (private by default for test isolation);
+        # both underlying services fold their metrics into it, so one
+        # Prometheus scrape covers the whole process.
+        self.registry = metrics_registry if metrics_registry is not None else MetricsRegistry()
         if cache_store is not None:
             self.cache = cache_store
         else:
@@ -83,6 +105,7 @@ class CleaningGateway:
             cache_store=self.cache,
             default_chunk_rows=default_chunk_rows,
             max_pending_jobs=max_pending_jobs,
+            metrics_registry=self.registry,
         )
         # Stream cleaners write through the same shared store as batch jobs.
         self.streams = StreamService(
@@ -90,17 +113,17 @@ class CleaningGateway:
             max_pending_batches=max_pending_batches,
             config=config,
             llm_factory=lambda: cached_client(self.llm_factory(), self.cache),
+            metrics_registry=self.registry,
         )
         self.started_at = time.time()
         self._draining = False
         self._counter_lock = threading.Lock()
-        self._counters: Dict[str, int] = {
-            "requests": 0,
-            "jobs_submitted": 0,
-            "batches_submitted": 0,
-            "rejected_saturated": 0,
-            "rejected_backpressure": 0,
-        }
+        self._event_keys = set(_EVENT_KEYS)
+        self._events = self.registry.counter(
+            "repro_gateway_events_total",
+            help="Gateway request-level events (requests, submissions, rejections)",
+            label_names=("event",),
+        )
 
     # -- lifecycle ---------------------------------------------------------------
     def start(self) -> "CleaningGateway":
@@ -127,7 +150,8 @@ class CleaningGateway:
 
     def count(self, key: str, delta: int = 1) -> None:
         with self._counter_lock:
-            self._counters[key] = self._counters.get(key, 0) + delta
+            self._event_keys.add(key)
+        self._events.inc(delta, event=key)
 
     # -- payload parsing -----------------------------------------------------------
     @staticmethod
@@ -178,7 +202,15 @@ class CleaningGateway:
             raise BadRequest("'priority' must be an integer")
         if chunk_rows is not None and not isinstance(chunk_rows, int):
             raise BadRequest("'chunk_rows' must be an integer")
-        job = self.service.submit(table, priority=priority, chunk_rows=chunk_rows)
+        # Capture the caller's span (the HTTP layer's ``server.request``) so
+        # the worker thread can parent its ``service.job`` trace under it.
+        metadata: Dict[str, Any] = {}
+        parent = current_ref()
+        if parent is not None:
+            metadata["trace_parent"] = parent
+        job = self.service.submit(
+            table, priority=priority, chunk_rows=chunk_rows, metadata=metadata
+        )
         self.count("jobs_submitted")
         return {
             "job_id": job.job_id,
@@ -266,22 +298,53 @@ class CleaningGateway:
             "failure": stream.failure,
         }
 
+    def job_trace(self, job_id: int) -> Dict[str, Any]:
+        """``GET /v1/jobs/{id}/trace``: the job's span tree.
+
+        Covers server → service → pipeline → operator → SQL-plan-node levels
+        when tracing is on; ``spans`` is empty when the job predates tracing,
+        tracing is disabled, or the trace was evicted.
+        """
+        job = self.service.job(job_id)
+        trace_id = job.metadata.get("trace_id")
+        spans = get_tracer().trace_tree(trace_id) if trace_id else []
+        return {
+            "job_id": job.job_id,
+            "name": job.name,
+            "status": str(job.status),
+            "trace_id": trace_id,
+            "spans": spans,
+        }
+
     # -- observability ------------------------------------------------------------------------
     def healthz(self) -> Dict[str, Any]:
+        pending = self.service.pending_jobs
+        limit = self.service.max_pending_jobs
         return {
             "status": "draining" if self._draining else "ok",
             "uptime_seconds": round(time.time() - self.started_at, 3),
+            "queue": {
+                "pending_jobs": pending,
+                "max_pending_jobs": limit,
+                # Unbounded admission never saturates; report 0.0, not None.
+                "saturation": round(pending / limit, 4) if limit else 0.0,
+            },
         }
+
+    def _gateway_counters(self) -> Dict[str, int]:
+        """The request-event counter as a plain dict (known keys always present)."""
+        with self._counter_lock:
+            keys = sorted(self._event_keys)
+        return {key: int(self._events.value(event=key)) for key in keys}
 
     def metrics(self) -> Dict[str, Any]:
         """``GET /metrics``: JSON counters across both services + the cache."""
         service_stats = self.service.stats()
         stream_stats = self.streams.stats()
-        with self._counter_lock:
-            counters = dict(self._counters)
         return {
+            "generated_at": time.time(),
             "uptime_seconds": round(time.time() - self.started_at, 3),
-            "gateway": counters,
+            "gateway": self._gateway_counters(),
             "jobs": {
                 "submitted": service_stats.jobs_submitted,
                 "succeeded": service_stats.jobs_succeeded,
@@ -303,3 +366,35 @@ class CleaningGateway:
                 },
             },
         }
+
+    def metrics_text(self) -> str:
+        """``GET /metrics?format=prometheus``: Prometheus text format (0.0.4).
+
+        Renders the gateway's registry (gateway events + both services)
+        followed by the process-default registry (LLM and cache metrics) —
+        the family names are disjoint, so the concatenation is one valid
+        exposition.  Point-in-time state (uptime, queue depths, cache
+        effectiveness) is refreshed into gauges at scrape time.
+        """
+        self.registry.gauge(
+            "repro_gateway_uptime_seconds", help="Seconds since the gateway started"
+        ).set(time.time() - self.started_at)
+        self.registry.gauge(
+            "repro_service_pending_jobs", help="Unfinished cleaning jobs held by the service"
+        ).set(self.service.pending_jobs)
+        self.registry.gauge(
+            "repro_service_queue_depth", help="Cleaning jobs waiting in the run queue"
+        ).set(self.service.queue_depth)
+        self.registry.gauge(
+            "repro_stream_queue_depth", help="Stream micro-batches waiting in the pool queue"
+        ).set(self.streams.pool.queue.pending_count())
+        prometheus_gauges_from(
+            self.registry,
+            "repro_cache",
+            self.cache.stats(),
+            help="Shared prompt-cache statistics",
+        )
+        default = get_default_registry()
+        if default is self.registry:
+            return self.registry.render_prometheus()
+        return self.registry.render_prometheus() + default.render_prometheus()

@@ -7,13 +7,21 @@ worker pools; the cleaning itself runs on the services' own threads.
 
 Routing table::
 
-    GET  /healthz                     liveness + drain state
-    GET  /metrics                     JSON counters (jobs, cache, queues)
+    GET  /healthz                     liveness + drain state + queue saturation
+    GET  /metrics                     JSON counters (jobs, cache, queues);
+                                      ?format=prometheus (or Accept: text/plain)
+                                      for Prometheus text exposition
     POST /v1/jobs                     submit a table, -> {"job_id": ...}
     GET  /v1/jobs/{id}                job lifecycle + ServiceStats
     GET  /v1/jobs/{id}/result         cleaned CSV + commented SQL script
+    GET  /v1/jobs/{id}/trace          span tree of the job's execution
     POST /v1/streams/{name}/batches   feed one micro-batch (429 on backpressure)
     GET  /v1/streams/{name}           per-stream counters
+
+Every request carries an id: an incoming ``X-Request-Id`` header is honoured
+(so callers can correlate), otherwise one is generated; the id is echoed on
+the response and names the request's trace (``req-<id>``), which submitted
+jobs link to as their parent span.
 
 Error mapping: malformed payloads -> 400, unknown ids/paths -> 404, result
 of an unfinished job -> 409, bounded-admission or stream backpressure ->
@@ -25,16 +33,19 @@ from __future__ import annotations
 import json
 import re
 import sys
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from repro.obs import PROMETHEUS_CONTENT_TYPE, get_tracer
 from repro.server.gateway import BadRequest, CleaningGateway, ResultNotReady
 from repro.service.scheduler import ServiceSaturated
 from repro.stream.service import StreamBackpressure
 
 _JOB_PATH = re.compile(r"^/v1/jobs/(\d+)$")
 _JOB_RESULT_PATH = re.compile(r"^/v1/jobs/(\d+)/result$")
+_JOB_TRACE_PATH = re.compile(r"^/v1/jobs/(\d+)/trace$")
 _STREAM_PATH = re.compile(r"^/v1/streams/([^/]+)$")
 _STREAM_BATCHES_PATH = re.compile(r"^/v1/streams/([^/]+)/batches$")
 
@@ -70,10 +81,25 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
     def _send_json(
         self, status: int, payload: Dict[str, Any], headers: Optional[Dict[str, str]] = None
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        self._send_bytes(status, json.dumps(payload).encode("utf-8"), "application/json", headers)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        self._send_bytes(status, text.encode("utf-8"), content_type)
+
+    def _send_bytes(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self._last_status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        request_id = getattr(self, "_request_id", None)
+        if request_id:
+            self.send_header("X-Request-Id", request_id)
         for key, value in (headers or {}).items():
             self.send_header(key, value)
         self.end_headers()
@@ -147,24 +173,36 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
         gateway.count("requests")
         path = urlparse(self.path).path
         self._body_consumed = False
-        try:
-            self._route(method, path, gateway)
-        except BadRequest as exc:
-            self._send_error_json(400, str(exc))
-        except KeyError as exc:
-            self._send_error_json(404, str(exc).strip("'\""))
-        except ResultNotReady as exc:
-            self._send_error_json(409, str(exc))
-        except ServiceSaturated as exc:
-            gateway.count("rejected_saturated")
-            self._send_error_json(429, str(exc), retry_after=gateway.retry_after_seconds)
-        except StreamBackpressure as exc:
-            gateway.count("rejected_backpressure")
-            self._send_error_json(429, str(exc), retry_after=gateway.retry_after_seconds)
-        except Exception as exc:  # noqa: BLE001 - last-resort request boundary
-            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
-        finally:
-            self._discard_unread_body()
+        self._last_status = 0
+        self._request_id = (self.headers.get("X-Request-Id") or "").strip() or uuid.uuid4().hex[:12]
+        # The request root span: submitted jobs parent under it, so one trace
+        # follows request -> job -> pipeline -> operators -> SQL plan nodes.
+        with get_tracer().span(
+            "server.request",
+            force=gateway.tracing,
+            trace_id=f"req-{self._request_id}",
+            method=method,
+            path=path,
+        ) as sp:
+            try:
+                self._route(method, path, gateway)
+            except BadRequest as exc:
+                self._send_error_json(400, str(exc))
+            except KeyError as exc:
+                self._send_error_json(404, str(exc).strip("'\""))
+            except ResultNotReady as exc:
+                self._send_error_json(409, str(exc))
+            except ServiceSaturated as exc:
+                gateway.count("rejected_saturated")
+                self._send_error_json(429, str(exc), retry_after=gateway.retry_after_seconds)
+            except StreamBackpressure as exc:
+                gateway.count("rejected_backpressure")
+                self._send_error_json(429, str(exc), retry_after=gateway.retry_after_seconds)
+            except Exception as exc:  # noqa: BLE001 - last-resort request boundary
+                self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+            finally:
+                sp.annotate(status=self._last_status)
+                self._discard_unread_body()
 
     def _route(self, method: str, path: str, gateway: CleaningGateway) -> None:
         if method == "GET" and path == "/healthz":
@@ -172,7 +210,10 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
             self._send_json(200 if doc["status"] == "ok" else 503, doc)
             return
         if method == "GET" and path == "/metrics":
-            self._send_json(200, gateway.metrics())
+            if self._wants_prometheus():
+                self._send_text(200, gateway.metrics_text(), PROMETHEUS_CONTENT_TYPE)
+            else:
+                self._send_json(200, gateway.metrics())
             return
         if path == "/v1/jobs":
             if method != "POST":
@@ -197,6 +238,13 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
                 return
             self._send_json(200, gateway.job_result(int(match.group(1))))
             return
+        match = _JOB_TRACE_PATH.match(path)
+        if match:
+            if method != "GET":
+                self._send_error_json(405, "job traces are read-only")
+                return
+            self._send_json(200, gateway.job_trace(int(match.group(1))))
+            return
         match = _STREAM_BATCHES_PATH.match(path)
         if match:
             if method != "POST":
@@ -215,6 +263,20 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
             self._send_json(200, gateway.stream_status(match.group(1)))
             return
         self._send_error_json(404, f"no route for {method} {path}")
+
+    def _wants_prometheus(self) -> bool:
+        """Prometheus text when asked via ``?format=prometheus`` or Accept.
+
+        JSON stays the default (and wins ties) so existing dashboards keep
+        working; a scraper advertising ``text/plain`` without also accepting
+        JSON gets the exposition format.
+        """
+        query = parse_qs(urlparse(self.path).query)
+        fmt = (query.get("format") or [""])[0].strip().lower()
+        if fmt:
+            return fmt in ("prometheus", "text")
+        accept = (self.headers.get("Accept") or "").lower()
+        return "text/plain" in accept and "application/json" not in accept
 
     # -- verbs -------------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming

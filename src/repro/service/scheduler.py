@@ -27,7 +27,7 @@ import time
 import traceback
 from collections import OrderedDict
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.core.context import CleaningConfig
 from repro.core.hil import AutoApprove
@@ -36,6 +36,8 @@ from repro.dataframe.io import read_csv
 from repro.dataframe.table import Table
 from repro.llm.cache import PromptCacheStore, cached_client
 from repro.llm.simulated import SimulatedSemanticLLM
+from repro.obs import span as obs_span
+from repro.obs.metrics import MetricsRegistry
 from repro.service.chunking import (
     ChunkedCleaningResult,
     HILFactory,
@@ -85,6 +87,7 @@ class CleaningService:
         chunk_workers: int = 1,
         max_pending_jobs: Optional[int] = None,
         max_retained_jobs: int = 1024,
+        metrics_registry: Optional[MetricsRegistry] = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -114,7 +117,7 @@ class CleaningService:
         # ``max_retained_jobs``) so network callers can fetch results later.
         self._jobs_by_id: "OrderedDict[int, CleaningJob]" = OrderedDict()
         self._lock = threading.Lock()
-        self._stats = StatsCollector()
+        self._stats = StatsCollector(registry=metrics_registry)
 
     # -- lifecycle -------------------------------------------------------------
     def start(self) -> "CleaningService":
@@ -147,14 +150,21 @@ class CleaningService:
         config: Optional[CleaningConfig] = None,
         chunk_rows: Optional[int] = None,
         name: str = "",
+        metadata: Optional[Dict[str, Any]] = None,
     ) -> CleaningJob:
-        """Queue one table for cleaning and return its job handle."""
+        """Queue one table for cleaning and return its job handle.
+
+        ``metadata`` is attached to the job verbatim; the gateway uses it to
+        carry the request's trace parent (``trace_parent``) so the worker's
+        ``service.job`` span joins the submitting HTTP request's trace.
+        """
         job = CleaningJob(
             table=table,
             priority=priority,
             config=config,
             chunk_rows=chunk_rows,
             name=name or table.name or "",
+            metadata=dict(metadata) if metadata else {},
         )
         with self._lock:
             if self._pool.closed:
@@ -264,6 +274,21 @@ class CleaningService:
     def _run_job(self, job: CleaningJob) -> None:
         started = time.perf_counter()
         wait_seconds = started - job.submitted_at
+        # Worker threads carry no span stack, so this is either a child of the
+        # submitting request (trace_parent propagated through job metadata), a
+        # fresh "job-<id>" root when tracing is on, or a no-op.
+        with obs_span(
+            "service.job",
+            parent_ref=job.metadata.get("trace_parent"),
+            trace_id=f"job-{job.job_id}",
+            job_id=job.job_id,
+            table=job.name,
+        ) as sp:
+            if sp.trace_id is not None:
+                job.metadata["trace_id"] = sp.trace_id
+            self._run_job_traced(job, sp, started, wait_seconds)
+
+    def _run_job_traced(self, job: CleaningJob, sp, started: float, wait_seconds: float) -> None:
         try:
             cleaning = self._execute(job)
             result = JobResult(
@@ -293,6 +318,9 @@ class CleaningService:
                 wait_seconds=wait_seconds,
                 run_seconds=time.perf_counter() - started,
             )
+        sp.annotate(status=result.status.value, rows=result.rows, llm_calls=result.llm_calls)
+        if result.error:
+            sp.annotate(error=result.error.splitlines()[0])
         job.finish(result)
         self._stats.record_result(result)
 

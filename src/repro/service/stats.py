@@ -1,9 +1,13 @@
 """Service-level metrics: throughput, latency, and cache effectiveness.
 
-The collector is shared by all worker threads; every finished job is folded
-into running aggregates under a lock, and :meth:`StatsCollector.snapshot`
-returns an immutable :class:`ServiceStats` suitable for reporting (see
-:func:`repro.core.report.render_service_summary`).
+The collector is shared by all worker threads.  Since ``repro.obs`` exists it
+is a thin façade over a :class:`~repro.obs.metrics.MetricsRegistry`: every
+finished job is folded into registry counters/histograms
+(``repro_service_*``), and :meth:`StatsCollector.snapshot` reads those
+metrics back into an immutable :class:`ServiceStats` suitable for reporting
+(see :func:`repro.core.report.render_service_summary`).  The registry is the
+same object a fronting gateway renders at ``GET /metrics`` — one sink, two
+exposition shapes.
 """
 
 from __future__ import annotations
@@ -13,14 +17,18 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
+from repro.obs.metrics import MetricsRegistry, percentile
 from repro.service.jobs import JobResult, JobStatus
 
 
 def _percentile(sorted_values: List[float], fraction: float) -> float:
-    if not sorted_values:
-        return 0.0
-    index = min(len(sorted_values) - 1, max(0, round(fraction * (len(sorted_values) - 1))))
-    return sorted_values[index]
+    """Linear-interpolated percentile (see :func:`repro.obs.metrics.percentile`).
+
+    Historically this was nearest-rank via ``round``, which made the reported
+    p50 of ``[1, 2]`` an endpoint and let banker's rounding flip p-values
+    between adjacent sample counts; interpolation moves smoothly instead.
+    """
+    return percentile(sorted_values, fraction)
 
 
 @dataclass
@@ -96,12 +104,55 @@ class ServiceStats:
 
 
 class StatsCollector:
-    """Thread-safe accumulator the scheduler folds every job result into."""
+    """Thread-safe accumulator the scheduler folds every job result into.
 
-    def __init__(self) -> None:
+    State lives in a :class:`MetricsRegistry` (``repro_service_*`` metrics) —
+    pass one in to share it with a gateway's ``/metrics`` endpoint, or let
+    the collector own a private registry.  The latency histograms retain
+    every raw observation (``max_samples=None``) so :meth:`snapshot` reports
+    the exact totals/avg/max the pre-registry list aggregation produced.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self._lock = threading.Lock()
-        self._submitted = 0
-        self._results: List[JobResult] = []
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._submitted = self.registry.counter(
+            "repro_service_jobs_submitted_total", help="Cleaning jobs accepted by the service"
+        )
+        self._finished = self.registry.counter(
+            "repro_service_jobs_total",
+            help="Finished cleaning jobs by terminal status",
+            label_names=("status",),
+        )
+        self._rows = self.registry.counter(
+            "repro_service_rows_cleaned_total", help="Rows in successfully cleaned tables"
+        )
+        self._cells = self.registry.counter(
+            "repro_service_cells_repaired_total", help="Cell repairs applied by succeeded jobs"
+        )
+        self._removed = self.registry.counter(
+            "repro_service_rows_removed_total", help="Rows removed (deduplicated) by succeeded jobs"
+        )
+        self._llm = self.registry.counter(
+            "repro_service_llm_calls_total", help="LLM calls attributed to succeeded jobs"
+        )
+        self._chunked = self.registry.counter(
+            "repro_service_chunked_jobs_total", help="Succeeded jobs cleaned in partitioned chunks"
+        )
+        self._fallback = self.registry.counter(
+            "repro_service_fallback_jobs_total",
+            help="Chunked jobs that fell back to whole-table cleaning",
+        )
+        self._run_seconds = self.registry.histogram(
+            "repro_service_job_run_seconds",
+            help="Per-job execution time of succeeded jobs",
+            max_samples=None,
+        )
+        self._wait_seconds = self.registry.histogram(
+            "repro_service_job_wait_seconds",
+            help="Per-job queue wait time of succeeded jobs",
+            max_samples=None,
+        )
         # Busy wall time is accumulated per batch span: ``restart_clock`` (called
         # when a submission arrives with nothing in flight) closes the previous
         # span, so idle gaps between batches don't dilute throughput.
@@ -110,12 +161,22 @@ class StatsCollector:
         self._last_finish_at = self._span_start
 
     def record_submitted(self, count: int = 1) -> None:
-        with self._lock:
-            self._submitted += count
+        self._submitted.inc(count)
 
     def record_result(self, result: JobResult) -> None:
+        self._finished.inc(status=result.status.value)
+        if result.status is JobStatus.SUCCEEDED:
+            self._rows.inc(result.rows)
+            self._cells.inc(result.cell_repairs)
+            self._removed.inc(result.removed_rows)
+            self._llm.inc(result.llm_calls)
+            if result.chunked:
+                self._chunked.inc()
+            if result.fell_back:
+                self._fallback.inc()
+            self._run_seconds.observe(result.run_seconds)
+            self._wait_seconds.observe(result.wait_seconds)
         with self._lock:
-            self._results.append(result)
             self._last_finish_at = time.perf_counter()
 
     def restart_clock(self) -> None:
@@ -127,35 +188,28 @@ class StatsCollector:
 
     def snapshot(self, cache_stats: Optional[Dict[str, Union[int, float]]] = None) -> ServiceStats:
         with self._lock:
-            results = list(self._results)
-            submitted = self._submitted
             wall = self._busy_before + max(0.0, self._last_finish_at - self._span_start)
-        stats = ServiceStats(jobs_submitted=submitted, wall_seconds=wall)
-        run_times: List[float] = []
-        wait_times: List[float] = []
-        for result in results:
-            if result.status is JobStatus.SUCCEEDED:
-                stats.jobs_succeeded += 1
-                stats.rows_cleaned += result.rows
-                stats.cells_repaired += result.cell_repairs
-                stats.rows_removed += result.removed_rows
-                stats.llm_calls += result.llm_calls
-                run_times.append(result.run_seconds)
-                wait_times.append(result.wait_seconds)
-                if result.chunked:
-                    stats.chunked_jobs += 1
-                if result.fell_back:
-                    stats.fallback_jobs += 1
-            elif result.status is JobStatus.FAILED:
-                stats.jobs_failed += 1
-            elif result.status is JobStatus.CANCELLED:
-                stats.jobs_cancelled += 1
+        stats = ServiceStats(
+            jobs_submitted=int(self._submitted.total()),
+            jobs_succeeded=int(self._finished.value(status=JobStatus.SUCCEEDED.value)),
+            jobs_failed=int(self._finished.value(status=JobStatus.FAILED.value)),
+            jobs_cancelled=int(self._finished.value(status=JobStatus.CANCELLED.value)),
+            rows_cleaned=int(self._rows.total()),
+            cells_repaired=int(self._cells.total()),
+            rows_removed=int(self._removed.total()),
+            llm_calls=int(self._llm.total()),
+            chunked_jobs=int(self._chunked.total()),
+            fallback_jobs=int(self._fallback.total()),
+            wall_seconds=wall,
+        )
+        run_times = self._run_seconds.samples()
         if run_times:
             ordered = sorted(run_times)
             stats.run_seconds_total = sum(run_times)
             stats.run_seconds_avg = stats.run_seconds_total / len(run_times)
             stats.run_seconds_p50 = _percentile(ordered, 0.5)
             stats.run_seconds_max = ordered[-1]
+        wait_times = self._wait_seconds.samples()
         if wait_times:
             stats.wait_seconds_avg = sum(wait_times) / len(wait_times)
         if cache_stats:

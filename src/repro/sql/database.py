@@ -9,13 +9,27 @@ the baselines all issue real SQL.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+import re
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.dataframe.schema import ColumnType
 from repro.dataframe.table import Table
+from repro.obs import get_tracer
+from repro.obs import span as obs_span
+from repro.obs.report import render_explain
 from repro.sql.catalog import Catalog
 from repro.sql.executor import Executor
 from repro.sql.parser import parse
+
+
+def summarise_sql(query: str, limit: int = 120) -> str:
+    """One-line summary of a statement for span attributes: comments stripped,
+    whitespace collapsed, truncated with an ellipsis."""
+    no_comments = re.sub(r"--[^\n]*", " ", query)
+    collapsed = " ".join(no_comments.split())
+    if len(collapsed) > limit:
+        return collapsed[: limit - 1] + "…"
+    return collapsed
 
 
 class QueryLog:
@@ -66,8 +80,31 @@ class Database:
     def sql(self, query: str) -> Optional[Table]:
         """Parse and execute a SQL statement, returning a result table (or None)."""
         self.query_log.record(query)
-        statement = parse(query)
-        return self.executor.execute(statement)
+        with obs_span("sql.query", statement=summarise_sql(query)) as sp:
+            statement = parse(query)
+            result = self.executor.execute(statement)
+            if result is not None:
+                sp.annotate(rows_out=result.num_rows)
+        return result
+
+    def explain_analyze(self, query: str) -> Tuple[Optional[Table], str]:
+        """Execute a statement under a forced trace root and report per-plan-node
+        timings in an ``EXPLAIN ANALYZE``-style rendering.
+
+        Works regardless of whether tracing is globally enabled: the root span
+        is forced, and the executor's stage spans (scan, join, filter,
+        aggregate, window, project, qualify, distinct, sort) nest beneath it.
+        Returns ``(result_table, report_text)``.
+        """
+        self.query_log.record(query)
+        with get_tracer().span(
+            "sql.query", force=True, statement=summarise_sql(query)
+        ) as sp:
+            statement = parse(query)
+            result = self.executor.execute(statement)
+            if result is not None:
+                sp.annotate(rows_out=result.num_rows)
+        return result, render_explain(sp.to_dict())
 
     def execute_script(self, script: str) -> Optional[Table]:
         """Execute a ``;``-separated script, returning the last result."""

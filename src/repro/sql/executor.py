@@ -59,6 +59,7 @@ from repro.sql.ast_nodes import (
     UnaryOp,
     WindowFunction,
 )
+from repro.obs import span as obs_span
 from repro.sql.catalog import Catalog
 from repro.sql.errors import ExecutionError
 from repro.sql.functions import AGGREGATE_NAMES, call_scalar, make_aggregate
@@ -106,7 +107,9 @@ class Executor:
     def _execute_select(self, select: Select, result_name: str) -> Table:
         rows, source_columns, where = self._resolve_from(select)
         if where is not None:
-            rows = [r for r in rows if _truthy(self._eval(where, r))]
+            with obs_span("sql.filter", rows_in=len(rows)) as sp:
+                rows = [r for r in rows if _truthy(self._eval(where, r))]
+                sp.annotate(rows_out=len(rows))
 
         has_group = bool(select.group_by)
         has_aggregate = any(_contains_aggregate(item.expression) for item in select.items) or (
@@ -115,34 +118,45 @@ class Executor:
 
         source_rows: Optional[List[Row]] = None
         if has_group or has_aggregate:
-            out_names, out_rows = self._execute_grouped(select, rows)
+            with obs_span(
+                "sql.aggregate", rows_in=len(rows), group_keys=len(select.group_by)
+            ) as sp:
+                out_names, out_rows = self._execute_grouped(select, rows)
+                sp.annotate(rows_out=len(out_rows))
         else:
             window_values = self._compute_windows(select, rows)
-            out_names, out_rows = self._project(select, rows, window_values, source_columns)
+            with obs_span("sql.project", rows_in=len(rows)) as sp:
+                out_names, out_rows = self._project(select, rows, window_values, source_columns)
+                sp.annotate(columns=len(out_names))
             source_rows = list(rows)
             if select.qualify is not None:
-                keep = []
-                for i, row in enumerate(rows):
-                    value = self._eval(select.qualify, row, window_values=window_values, row_index=i)
-                    if _truthy(value):
-                        keep.append(i)
-                out_rows = [out_rows[i] for i in keep]
-                source_rows = [source_rows[i] for i in keep]
+                with obs_span("sql.qualify", rows_in=len(rows)) as sp:
+                    keep = []
+                    for i, row in enumerate(rows):
+                        value = self._eval(select.qualify, row, window_values=window_values, row_index=i)
+                        if _truthy(value):
+                            keep.append(i)
+                    out_rows = [out_rows[i] for i in keep]
+                    source_rows = [source_rows[i] for i in keep]
+                    sp.annotate(rows_out=len(out_rows))
 
         if select.distinct:
-            source_rows = None
-            seen = set()
-            deduped = []
-            for row in out_rows:
-                key = tuple("\0null" if is_null(v) else str(v) for v in row)
-                if key in seen:
-                    continue
-                seen.add(key)
-                deduped.append(row)
-            out_rows = deduped
+            with obs_span("sql.distinct", rows_in=len(out_rows)) as sp:
+                source_rows = None
+                seen = set()
+                deduped = []
+                for row in out_rows:
+                    key = tuple("\0null" if is_null(v) else str(v) for v in row)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    deduped.append(row)
+                out_rows = deduped
+                sp.annotate(rows_out=len(out_rows))
 
         if select.order_by:
-            out_rows = self._order_output(select, out_names, out_rows, source_rows)
+            with obs_span("sql.sort", rows_in=len(out_rows), keys=len(select.order_by)):
+                out_rows = self._order_output(select, out_names, out_rows, source_rows)
 
         if select.offset is not None:
             out_rows = out_rows[select.offset:]
@@ -215,19 +229,23 @@ class Executor:
         plus, when ``qualify`` is set, the ``alias.column`` duplicates used
         to disambiguate columns across join inputs.
         """
-        if ref.subquery is not None:
-            table = self._execute_select(ref.subquery, result_name=ref.alias or "subquery")
-        else:
-            table = self.catalog.get(ref.name)
-        names = list(table.column_names)
-        values = [c.values for c in table.columns]
-        if qualify:
-            alias = ref.alias or (ref.name if ref.name else table.name)
-            keys = names + [f"{alias}.{name}" for name in names]
-            rows = [dict(zip(keys, cells + cells)) for cells in zip(*values)] if names else []
-        else:
-            keys = names
-            rows = [dict(zip(keys, cells)) for cells in zip(*values)] if names else []
+        with obs_span(
+            "sql.scan", source=ref.name or (ref.alias or "subquery")
+        ) as sp:
+            if ref.subquery is not None:
+                table = self._execute_select(ref.subquery, result_name=ref.alias or "subquery")
+            else:
+                table = self.catalog.get(ref.name)
+            names = list(table.column_names)
+            values = [c.values for c in table.columns]
+            if qualify:
+                alias = ref.alias or (ref.name if ref.name else table.name)
+                keys = names + [f"{alias}.{name}" for name in names]
+                rows = [dict(zip(keys, cells + cells)) for cells in zip(*values)] if names else []
+            else:
+                keys = names
+                rows = [dict(zip(keys, cells)) for cells in zip(*values)] if names else []
+            sp.annotate(rows_out=len(rows))
         return rows, names, keys
 
     def _apply_join(
@@ -245,10 +263,18 @@ class Executor:
         residual: List[Expression] = []
         if self.hash_join:
             equi, residual = _extract_equi_predicates(join.condition, left_keys, set(right_keys))
-        if equi:
-            out = self._hash_join(left_rows, right_rows, right_keys, join.kind, equi, residual)
-        else:
-            out = self._nested_loop_join(left_rows, right_rows, right_keys, join.kind, join.condition)
+        with obs_span(
+            "sql.join",
+            kind=join.kind,
+            strategy="hash" if equi else "nested_loop",
+            rows_left=len(left_rows),
+            rows_right=len(right_rows),
+        ) as sp:
+            if equi:
+                out = self._hash_join(left_rows, right_rows, right_keys, join.kind, equi, residual)
+            else:
+                out = self._nested_loop_join(left_rows, right_rows, right_keys, join.kind, join.condition)
+            sp.annotate(rows_out=len(out))
         return out, columns
 
     def _nested_loop_join(
@@ -463,9 +489,12 @@ class Executor:
             _collect_windows(item.expression, window_nodes)
         if select.qualify is not None:
             _collect_windows(select.qualify, window_nodes)
+        if not window_nodes:
+            return {}
         values: Dict[int, List[Any]] = {}
-        for node in window_nodes:
-            values[id(node)] = self._evaluate_window(node, rows)
+        with obs_span("sql.window", functions=len(window_nodes), rows_in=len(rows)):
+            for node in window_nodes:
+                values[id(node)] = self._evaluate_window(node, rows)
         return values
 
     def _evaluate_window(self, node: WindowFunction, rows: List[Row]) -> List[Any]:

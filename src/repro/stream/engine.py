@@ -51,6 +51,7 @@ from repro.dataframe.schema import ColumnType
 from repro.dataframe.table import Table
 from repro.llm.base import LLMClient
 from repro.llm.simulated import SimulatedSemanticLLM
+from repro.obs import span as obs_span
 from repro.profiling.incremental import IncrementalDuplicateState, IncrementalFDState
 from repro.profiling.mergeable import MergeableColumnProfile
 from repro.sql.database import Database
@@ -200,32 +201,54 @@ class StreamingCleaner:
         first_row_id = self._next_row_id
         self._next_row_id += batch.num_rows
         self._ingest_raw(batch)
+        with obs_span(
+            "stream.batch",
+            stream=self.name,
+            batch_index=len(self.batch_results),
+            rows_in=batch.num_rows,
+        ) as sp:
+            result = self._dispatch_batch(batch, first_row_id)
+            if result.primed:
+                phase = "prime"
+            elif result.replayed:
+                phase = "replay"
+            elif result.drifted_columns:
+                phase = "replan"
+            else:
+                phase = "buffer"
+            sp.annotate(phase=phase, llm_calls=result.llm_calls)
+        return self._finish(result, started)
 
+    def _dispatch_batch(self, batch: Table, first_row_id: int) -> StreamBatchResult:
+        """Route one ingested batch to its phase: buffer, prime, replay or re-plan."""
         if self.plan is None:
             available = self._raw_row_count()
             if available == 0 or available < self.prime_rows:
-                result = StreamBatchResult(
+                return StreamBatchResult(
                     batch_index=len(self.batch_results),
                     rows_in=batch.num_rows,
                     first_row_id=first_row_id,
                     buffered=available > 0,
                 )
-                return self._finish(result, started)
-            result = self._prime(batch, first_row_id)
-            return self._finish(result, started)
+            with obs_span("stream.prime", window_rows=available):
+                return self._prime(batch, first_row_id)
 
         drifts: List[ColumnDrift] = []
         drifted: List[str] = []
         if self.detector is not None:
-            drifts = self.detector.assess(self._raw_profiles)
-            drifted = [d.column for d in drifts if d.drifted]
+            with obs_span("stream.drift") as sp:
+                drifts = self.detector.assess(self._raw_profiles)
+                drifted = [d.column for d in drifts if d.drifted]
+                sp.annotate(columns_assessed=len(drifts), drifted=len(drifted))
         if drifted:
-            result = self._replan(batch, first_row_id, drifted)
+            with obs_span("stream.replan", drifted_columns=",".join(drifted)):
+                result = self._replan(batch, first_row_id, drifted)
         else:
-            result = self._replay(batch, first_row_id)
+            with obs_span("stream.replay"):
+                result = self._replay(batch, first_row_id)
         result.drift = drifts
         result.drifted_columns = drifted
-        return self._finish(result, started)
+        return result
 
     def cleaned_table(self) -> Table:
         """The cumulative cleaned output, in original row order."""

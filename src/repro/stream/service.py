@@ -30,6 +30,7 @@ from typing import Any, Dict, Iterable, List, Optional
 from repro.core.context import CleaningConfig
 from repro.dataframe.table import Table
 from repro.llm.base import LLMClient
+from repro.obs.metrics import MetricsRegistry
 from repro.service.jobs import JobStatus
 from repro.service.pool import WorkerPool
 from repro.stream.drift import DriftConfig
@@ -229,10 +230,25 @@ class StreamService:
         config: Optional[CleaningConfig] = None,
         detect_drift: bool = True,
         drift_config: Optional[DriftConfig] = None,
+        metrics_registry: Optional[MetricsRegistry] = None,
     ):
         if max_pending_batches < 1:
             raise ValueError(f"max_pending_batches must be >= 1, got {max_pending_batches}")
         self.max_pending_batches = max_pending_batches
+        self.registry = metrics_registry if metrics_registry is not None else MetricsRegistry()
+        self._submitted_counter = self.registry.counter(
+            "repro_stream_batches_submitted_total", help="Micro-batches accepted across all streams"
+        )
+        self._batches_counter = self.registry.counter(
+            "repro_stream_batches_total",
+            help="Finished micro-batches by outcome",
+            label_names=("status",),
+        )
+        self._batch_seconds = self.registry.histogram(
+            "repro_stream_batch_seconds",
+            help="Per-batch processing time (ordering wait excluded)",
+            max_samples=4096,
+        )
         self.llm_factory = llm_factory
         self.config = config
         self.detect_drift = detect_drift
@@ -340,6 +356,7 @@ class StreamService:
         except BaseException:
             stream._capacity.release()
             raise
+        self._submitted_counter.inc()
         return job
 
     def submit_all(self, stream_name: str, batches: Iterable[Table]) -> List[StreamBatchJob]:
@@ -386,3 +403,6 @@ class StreamService:
     # -- pool callback ------------------------------------------------------------------------
     def _execute(self, job: StreamBatchJob) -> None:
         job.stream.run_in_order(job)
+        self._batches_counter.inc(status="failed" if job.error else "succeeded")
+        if job.result is not None:
+            self._batch_seconds.observe(job.result.seconds)

@@ -1,0 +1,194 @@
+"""The tracer: span lifecycle, cross-thread propagation, export, reassembly."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.schema import TraceSchemaError, validate_span, validate_trace_lines
+from repro.obs.trace import NOOP_SPAN, Tracer
+
+
+class TestSpanLifecycle:
+    def test_disabled_tracer_yields_noop(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("work") as sp:
+            assert sp is NOOP_SPAN
+            assert not sp
+            assert sp.trace_id is None
+            sp.annotate(rows=3)  # no-ops must absorb the full Span surface
+            sp.count("llm_calls")
+        assert tracer.trace_ids() == []
+
+    def test_force_creates_root_while_disabled(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("work", force=True, trace_id="t-1") as sp:
+            assert sp.trace_id == "t-1"
+        assert tracer.has_trace("t-1")
+
+    def test_children_record_inside_disabled_tracer(self):
+        # enabled gates root creation only: once a forced root is open,
+        # nested spans always record.
+        tracer = Tracer(enabled=False)
+        with tracer.span("root", force=True):
+            with tracer.span("child") as child:
+                assert child is not NOOP_SPAN
+        (doc,) = tracer.trace_tree(tracer.trace_ids()[0])
+        assert [c["name"] for c in doc["children"]] == ["child"]
+
+    def test_nesting_attrs_counters_and_timing(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer", table="t") as outer:
+            with tracer.span("inner", rows=5) as inner:
+                inner.count("llm_calls")
+                inner.count("llm_calls", 2)
+            outer.annotate(rows_out=4)
+        (doc,) = tracer.trace_tree(outer.trace_id)
+        assert doc["name"] == "outer"
+        assert doc["attrs"] == {"table": "t", "rows_out": 4}
+        (inner_doc,) = doc["children"]
+        assert inner_doc["counters"]["llm_calls"] == 3
+        assert doc["wall_seconds"] >= inner_doc["wall_seconds"] >= 0.0
+        assert outer.total_count("llm_calls") == 3  # rolls up over children
+
+    def test_exception_marks_span_error_and_reraises(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom", trace_id="t-err"):
+                raise RuntimeError("kaput")
+        (doc,) = tracer.trace_tree("t-err")
+        assert doc["status"] == "error"
+        assert "kaput" in doc["error"]
+
+    def test_stack_unwinds_after_exception(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(ValueError):
+            with tracer.span("a"):
+                raise ValueError()
+        assert tracer.current() is None
+
+    def test_to_dict_matches_schema(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root", table="x") as sp:
+            with tracer.span("leaf"):
+                pass
+        validate_span(sp.to_dict())
+
+
+class TestCrossThread:
+    def test_parent_ref_joins_trace_from_another_thread(self):
+        """The gateway pattern: request span on one thread, job on another."""
+        tracer = Tracer(enabled=True)
+        captured = {}
+
+        def worker(ref):
+            with tracer.span("service.job", parent_ref=ref, job_id=1) as sp:
+                captured["trace_id"] = sp.trace_id
+                with tracer.span("pipeline.clean"):
+                    pass
+
+        with tracer.span("server.request", trace_id="req-x") as root:
+            thread = threading.Thread(target=worker, args=(root.ref(),))
+            thread.start()
+            thread.join()
+
+        assert captured["trace_id"] == "req-x"
+        (doc,) = tracer.trace_tree("req-x")
+        assert doc["name"] == "server.request"
+        (job,) = doc["children"]
+        assert job["name"] == "service.job"
+        assert [c["name"] for c in job["children"]] == ["pipeline.clean"]
+
+    def test_parent_ref_records_even_when_disabled(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("root", force=True, trace_id="t") as root:
+            ref = root.ref()
+
+        def worker():
+            with tracer.span("child", parent_ref=ref) as sp:
+                assert sp is not NOOP_SPAN
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        roots = tracer.trace_tree("t")
+        assert len(roots) == 1  # the fragment nested under the finished root
+        assert [c["name"] for c in roots[0]["children"]] == ["child"]
+
+    def test_orphan_fragment_becomes_second_root(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a", trace_id="t"):
+            pass
+        with tracer.span("b", trace_id="t"):
+            pass
+        roots = tracer.trace_tree("t")
+        assert [doc["name"] for doc in roots] == ["a", "b"]  # sorted by start
+
+
+class TestStoreAndExport:
+    def test_max_traces_evicts_oldest(self):
+        tracer = Tracer(enabled=True, max_traces=2)
+        for i in range(4):
+            with tracer.span("w", trace_id=f"t-{i}"):
+                pass
+        assert tracer.trace_ids() == ["t-2", "t-3"]
+        assert not tracer.has_trace("t-0")
+
+    def test_clear_forgets_everything(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("w"):
+            pass
+        tracer.clear()
+        assert tracer.trace_ids() == []
+
+    def test_jsonl_export_validates(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(enabled=True, export_path=path)
+        for i in range(3):
+            with tracer.span("job", trace_id=f"t-{i}", index=i):
+                with tracer.span("step"):
+                    pass
+        lines = path.read_text(encoding="utf-8").splitlines()
+        docs = validate_trace_lines(lines)
+        assert [doc["trace_id"] for doc in docs] == ["t-0", "t-1", "t-2"]
+        assert docs[0]["children"][0]["name"] == "step"
+
+    def test_export_serialises_non_json_attrs(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(enabled=True, export_path=path)
+        with tracer.span("w", trace_id="t", table=object()):
+            pass
+        json.loads(path.read_text(encoding="utf-8"))  # default=str fallback
+
+
+class TestSchemaValidation:
+    def _valid_doc(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("w", trace_id="t") as sp:
+            pass
+        return sp.to_dict()
+
+    def test_missing_field_rejected(self):
+        doc = self._valid_doc()
+        del doc["wall_seconds"]
+        with pytest.raises(TraceSchemaError, match="missing fields"):
+            validate_span(doc)
+
+    def test_bad_status_rejected(self):
+        doc = self._valid_doc()
+        doc["status"] = "meh"
+        with pytest.raises(TraceSchemaError, match="status"):
+            validate_span(doc)
+
+    def test_child_trace_id_mismatch_rejected(self):
+        doc = self._valid_doc()
+        child = self._valid_doc()
+        child["trace_id"] = "other"
+        child["parent_id"] = doc["span_id"]
+        doc["children"].append(child)
+        with pytest.raises(TraceSchemaError, match="trace_id"):
+            validate_span(doc)
+
+    def test_invalid_json_line_rejected(self):
+        with pytest.raises(TraceSchemaError, match="not valid JSON"):
+            validate_trace_lines(["{nope"])
