@@ -96,9 +96,21 @@ class BenchmarkDataset:
         return f"{self.name} ({self.shape_label}) — {parts}"
 
 
-def _strict_differs(dirty_value: object, clean_value: object) -> bool:
+def strict_differs(dirty_value: object, clean_value: object) -> bool:
+    """The cell-difference predicate every ground-truth diff is defined over.
+
+    Strings are compared textually and NULL only equals NULL, so a value that
+    merely changed surface representation (``"7" `` vs ``"7.0"``) *is* an
+    error — matching the benchmarks' convention.  The scenario generator
+    (:mod:`repro.scenarios`) uses the same predicate, so its diffs agree with
+    :meth:`BenchmarkDataset.error_cells` by construction.
+    """
     if is_null(dirty_value) and is_null(clean_value):
         return False
     if is_null(dirty_value) != is_null(clean_value):
         return True
     return str(dirty_value) != str(clean_value)
+
+
+#: Backwards-compatible private alias (pre-scenarios name).
+_strict_differs = strict_differs

@@ -18,6 +18,30 @@ from repro.dataframe.table import Table
 from repro.datasets.base import ErrorType, InjectedError
 
 
+def make_typo(text: str, rng: random.Random) -> str:
+    """Introduce one character-level edit (the classic benchmark typo).
+
+    Module-level so scenario error models (:mod:`repro.scenarios.models`)
+    and :class:`ErrorInjector` share one implementation; the RNG call order
+    is part of the contract — the registry datasets' golden corpus depends
+    on it byte-for-byte.
+    """
+    if len(text) < 2:
+        return text + "x"
+    choice = rng.random()
+    position = rng.randrange(len(text))
+    if choice < 0.25:                        # substitute
+        replacement = rng.choice(string.ascii_lowercase)
+        return text[:position] + replacement + text[position + 1:]
+    if choice < 0.5:                         # delete
+        return text[:position] + text[position + 1:]
+    if choice < 0.75:                        # duplicate a character
+        return text[:position] + text[position] + text[position:]
+    if position + 1 < len(text):             # transpose
+        return text[:position] + text[position + 1] + text[position] + text[position + 2:]
+    return text + "x"                        # stray trailing character
+
+
 class ErrorInjector:
     """Corrupt a copy of a clean table while recording the ground truth."""
 
@@ -61,21 +85,8 @@ class ErrorInjector:
 
     # -- typos -----------------------------------------------------------------------
     def make_typo(self, text: str) -> str:
-        """Introduce one character-level edit (the classic benchmark typo)."""
-        if len(text) < 2:
-            return text + "x"
-        choice = self.rng.random()
-        position = self.rng.randrange(len(text))
-        if choice < 0.25:                        # substitute
-            replacement = self.rng.choice(string.ascii_lowercase)
-            return text[:position] + replacement + text[position + 1:]
-        if choice < 0.5:                         # delete
-            return text[:position] + text[position + 1:]
-        if choice < 0.75:                        # duplicate a character
-            return text[:position] + text[position] + text[position:]
-        if position + 1 < len(text):             # transpose
-            return text[:position] + text[position + 1] + text[position] + text[position + 2:]
-        return text + "x"                        # stray trailing character
+        """Introduce one character-level edit, drawing from the injector's RNG."""
+        return make_typo(text, self.rng)
 
     def inject_typos(self, column: str, count: int, min_length: int = 4) -> int:
         rows = self._eligible_rows(column, lambda v: len(str(v)) >= min_length)

@@ -1,0 +1,88 @@
+"""repro.scenarios — composable error models, scenario specs, traffic replay.
+
+The scenario engine manufactures adversarial inputs on purpose instead of
+waiting for them to be found by accident:
+
+* :mod:`repro.scenarios.models` — seeded, composable error models, each
+  returning a corrupted table **plus an exact ground-truth diff**;
+* :mod:`repro.scenarios.spec` — JSON-round-trippable scenario specs and the
+  deterministic :func:`~repro.scenarios.spec.generate` composer whose
+  output the existing :class:`~repro.evaluation.runner.ExperimentRunner`
+  scores end-to-end;
+* :mod:`repro.scenarios.catalog` — the built-in scenario catalogue behind
+  ``GOLDEN_scenarios.json``;
+* :mod:`repro.scenarios.replay` — the traffic-replay harness driving the
+  HTTP gateway / stream service with scenario batches, asserting parity
+  and drift behaviour;
+* :mod:`repro.scenarios.corpus` — the golden-corpus build/check/refresh
+  helpers, exposed through ``python -m repro.scenarios``.
+"""
+
+from repro.scenarios.catalog import builtin_specs, get_scenario, scenario_names
+from repro.scenarios.corpus import GOLDEN_PATH, build_payload, check_golden, write_golden
+from repro.scenarios.replay import (
+    ReplayMismatch,
+    ReplayReport,
+    replay_http,
+    replay_inprocess,
+    replay_scenario,
+)
+from repro.scenarios.models import (
+    MODEL_TYPES,
+    AdversarialValueModel,
+    CellEdit,
+    DuplicateStormModel,
+    ErrorModel,
+    FDViolationModel,
+    KeywordColumnModel,
+    LocaleMixModel,
+    ModelOutcome,
+    NullSpikeModel,
+    ScenarioError,
+    SchemaEvolutionModel,
+    TypoModel,
+    UnitDriftModel,
+    model_from_dict,
+)
+from repro.scenarios.spec import (
+    GeneratedScenario,
+    ScenarioPhase,
+    ScenarioSpec,
+    TrafficSpec,
+    generate,
+)
+
+__all__ = [
+    "GOLDEN_PATH",
+    "MODEL_TYPES",
+    "ReplayMismatch",
+    "ReplayReport",
+    "build_payload",
+    "check_golden",
+    "replay_http",
+    "replay_inprocess",
+    "replay_scenario",
+    "write_golden",
+    "AdversarialValueModel",
+    "CellEdit",
+    "DuplicateStormModel",
+    "ErrorModel",
+    "FDViolationModel",
+    "GeneratedScenario",
+    "KeywordColumnModel",
+    "LocaleMixModel",
+    "ModelOutcome",
+    "NullSpikeModel",
+    "ScenarioError",
+    "ScenarioPhase",
+    "ScenarioSpec",
+    "SchemaEvolutionModel",
+    "TrafficSpec",
+    "TypoModel",
+    "UnitDriftModel",
+    "builtin_specs",
+    "generate",
+    "get_scenario",
+    "model_from_dict",
+    "scenario_names",
+]

@@ -1,0 +1,185 @@
+"""Command-line entry point: ``python -m repro.scenarios``.
+
+Commands::
+
+    list                       the built-in catalogue, one line per scenario
+    generate [NAME...]         generate scenarios; --out DIR writes
+                               spec.json / dirty.csv / clean.csv / diff.json
+                               per scenario, otherwise a summary line each
+    replay  [NAME...]          replay scenarios (--mode inprocess|http) and
+                               assert parity + drift expectations
+
+    --golden                   regression-check GOLDEN_scenarios.json
+    --golden --refresh         rewrite it from the current code (the only
+                               sanctioned way to move the corpus)
+
+``--spec PATH`` feeds a scenario spec JSON file instead of a catalogue name,
+so external scenarios ride the same machinery.  Exit codes follow
+``repro.experiments``: 0 success, 1 golden drift / replay mismatch, 2 bad
+arguments (unknown scenarios are rejected with the valid choices listed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.dataframe.io import to_csv_text
+from repro.scenarios.catalog import get_scenario, scenario_names
+from repro.scenarios.corpus import GOLDEN_PATH, check_golden, write_golden
+from repro.scenarios.models import ScenarioError
+from repro.scenarios.replay import ReplayMismatch, replay_scenario
+from repro.scenarios.spec import GeneratedScenario, ScenarioSpec, generate
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="Generate, replay, and regression-gate cleaning scenarios.",
+    )
+    parser.add_argument("command", nargs="?", choices=["list", "generate", "replay"],
+                        help="what to do (omit when using --golden)")
+    parser.add_argument("names", nargs="*",
+                        help="scenario names (default: the whole catalogue)")
+    parser.add_argument("--spec", action="append", default=None, metavar="PATH",
+                        help="load a scenario spec JSON file (repeatable; joins the selection)")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="with generate: write spec/dirty/clean/diff artifacts under DIR")
+    parser.add_argument("--mode", choices=["inprocess", "http"], default="inprocess",
+                        help="with replay: drive the engine directly or a booted HTTP gateway")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of summary lines")
+    parser.add_argument("--golden", action="store_true",
+                        help="regression-check the committed scenario corpus (exit 1 on drift)")
+    parser.add_argument("--refresh", action="store_true",
+                        help="with --golden: rewrite the corpus from the current code")
+    parser.add_argument("--golden-path", default=str(GOLDEN_PATH), metavar="PATH",
+                        help="corpus location (default: the committed GOLDEN_scenarios.json)")
+    return parser
+
+
+def _selected_specs(args: argparse.Namespace) -> List[ScenarioSpec]:
+    specs = [get_scenario(name) for name in args.names]
+    for path in args.spec or []:
+        specs.append(ScenarioSpec.from_json(Path(path).read_text(encoding="utf-8")))
+    if not specs:
+        specs = [get_scenario(name) for name in scenario_names()]
+    return specs
+
+
+def _write_artifacts(out_dir: Path, generated: GeneratedScenario) -> Path:
+    target = out_dir / generated.spec.name
+    target.mkdir(parents=True, exist_ok=True)
+    (target / "spec.json").write_text(generated.spec.to_json() + "\n", encoding="utf-8")
+    (target / "dirty.csv").write_text(to_csv_text(generated.dataset.dirty), encoding="utf-8")
+    (target / "clean.csv").write_text(to_csv_text(generated.dataset.clean), encoding="utf-8")
+    diff = [
+        {"row": row, "column": column, "clean": clean_value, "dirty": dirty_value}
+        for (row, column), (clean_value, dirty_value) in sorted(
+            generated.cell_diff.items(), key=lambda item: (item[0][0], item[0][1])
+        )
+    ]
+    (target / "diff.json").write_text(
+        json.dumps(diff, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return target
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    out_dir = Path(args.out) if args.out else None
+    summaries = []
+    for spec in _selected_specs(args):
+        generated = generate(spec)
+        summary = {
+            "scenario": spec.name,
+            "rows": generated.dataset.dirty.num_rows,
+            "columns": len(generated.dataset.dirty.column_names),
+            "cells_corrupted": len(generated.cell_diff),
+            "duplicate_rows": len(generated.duplicate_rows),
+            "renamed_columns": generated.renamed_columns,
+        }
+        if out_dir is not None:
+            summary["path"] = str(_write_artifacts(out_dir, generated))
+        summaries.append(summary)
+        if not args.json:
+            where = f" -> {summary['path']}" if out_dir is not None else ""
+            print(f"{spec.name}: {summary['rows']} rows x {summary['columns']} cols, "
+                  f"{summary['cells_corrupted']} corrupted cells, "
+                  f"{summary['duplicate_rows']} duplicates{where}")
+    if args.json:
+        print(json.dumps(summaries, indent=1, sort_keys=True))
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    reports = []
+    failures = 0
+    for spec in _selected_specs(args):
+        try:
+            report = replay_scenario(spec, mode=args.mode)
+        except ReplayMismatch as exc:
+            failures += 1
+            print(f"FAIL {spec.name}: {exc}", file=sys.stderr)
+            continue
+        reports.append(report.to_dict())
+        if not args.json:
+            parity = [
+                f"{label}={value}" for label, value in (
+                    ("stream_parity", report.stream_parity),
+                    ("batch_parity", report.batch_parity),
+                    ("job_parity", report.job_parity),
+                ) if value is not None
+            ]
+            print(f"ok {spec.name} [{report.mode}]: {report.batches} batches, "
+                  f"{report.replans} replans" + (", " + ", ".join(parity) if parity else ""))
+    if args.json:
+        print(json.dumps(reports, indent=1, sort_keys=True))
+    return 1 if failures else 0
+
+
+def _cmd_golden(args: argparse.Namespace) -> int:
+    path = Path(args.golden_path)
+    if args.refresh:
+        write_golden(path)
+        print(f"golden scenario corpus refreshed: {path}")
+        return 0
+    differences = check_golden(path)
+    if differences:
+        print(f"golden scenario drift detected ({len(differences)} difference(s)):")
+        for line in differences:
+            print(f"  {line}")
+        return 1
+    print(f"golden scenario check passed: {path}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.refresh and not args.golden:
+        parser.error("--refresh only makes sense together with --golden")
+    if args.golden and args.command:
+        parser.error("--golden runs on the whole catalogue; drop the command")
+    if not args.golden and not args.command:
+        parser.error("pick a command (list/generate/replay) or pass --golden")
+    try:
+        if args.golden:
+            return _cmd_golden(args)
+        if args.command == "list":
+            for name in scenario_names():
+                spec = get_scenario(name)
+                print(f"{name}: {spec.description or spec.base_dataset}")
+            return 0
+        if args.command == "generate":
+            return _cmd_generate(args)
+        return _cmd_replay(args)
+    except (ScenarioError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

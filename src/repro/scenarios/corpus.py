@@ -1,0 +1,151 @@
+"""The scenario-gated regression corpus behind ``GOLDEN_scenarios.json``.
+
+One golden cell per built-in scenario, holding only deterministic fields:
+the spec itself, corruption shape (rows/columns/cells/duplicates/renames),
+the :class:`~repro.datasets.base.ErrorType` census, per-model counts, SHA-256
+of the dirty and aligned-clean CSV bytes, the Cocoon scores the existing
+:class:`~repro.evaluation.runner.ExperimentRunner` produces on the scenario
+(minus wall-clock), and — for scenarios that declare traffic expectations —
+the in-process stream statistics (minus wall-clock).
+
+The canonical byte representation, the generic payload diff, and the
+golden-file loader are the **same** helpers the experiment corpus uses
+(:func:`repro.experiments.matrix.canonical_json` /
+:func:`~repro.experiments.matrix.diff_golden` /
+:func:`~repro.experiments.matrix.load_golden`), so both corpora regress on
+identical rules: tier-1 asserts the committed file byte-for-byte, and
+``python -m repro.scenarios --refresh`` is the only sanctioned way to move it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.core.context import CleaningConfig
+from repro.dataframe.io import to_csv_text
+from repro.evaluation.runner import CocoonSystem, ExperimentRunner
+from repro.experiments.matrix import canonical_json, diff_golden, load_golden
+from repro.llm.simulated import SimulatedSemanticLLM
+from repro.scenarios.catalog import builtin_specs
+from repro.scenarios.spec import GeneratedScenario, generate
+from repro.stream.engine import StreamingCleaner
+
+#: Bump when the golden cell shape changes; tier-1 then fails loudly until
+#: the corpus is refreshed on purpose.
+SCHEMA_VERSION = 1
+
+#: The committed corpus file, at the repo root next to GOLDEN_experiments.json.
+GOLDEN_PATH = Path(__file__).resolve().parents[3] / "GOLDEN_scenarios.json"
+
+#: Wall-clock fields stripped from every nested stats/score dict.
+_NONDETERMINISTIC_KEYS = frozenset({"runtime_seconds", "seconds"})
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _strip_timings(doc: Dict[str, Any]) -> Dict[str, Any]:
+    return {key: value for key, value in doc.items() if key not in _NONDETERMINISTIC_KEYS}
+
+
+def _cleaning_config(generated: GeneratedScenario) -> Optional[CleaningConfig]:
+    issues = generated.spec.cleaning_issues
+    return CleaningConfig(enabled_issues=list(issues)) if issues is not None else None
+
+
+def _cocoon_scores(generated: GeneratedScenario) -> Dict[str, Any]:
+    """Score the scenario with the existing experiment runner (Cocoon only)."""
+    config = _cleaning_config(generated)
+    runner = ExperimentRunner(
+        systems={"Cocoon": lambda: CocoonSystem(config=config)},
+        seed=generated.spec.seed,
+    )
+    result = runner.run_system("Cocoon", generated.dataset)
+    return _strip_timings(result.to_dict())
+
+
+def _stream_stats(generated: GeneratedScenario) -> Dict[str, Any]:
+    """Deterministic stream statistics from an in-process replay."""
+    cleaner = StreamingCleaner(
+        name=generated.spec.table_name,
+        llm=SimulatedSemanticLLM(),
+        config=_cleaning_config(generated),
+        detect_drift=True,
+        prime_rows=generated.prime_rows,
+    )
+    drifted: List[str] = []
+    for batch in generated.batches():
+        drifted.extend(cleaner.process_batch(batch).drifted_columns)
+    return {
+        **_strip_timings(cleaner.stats.to_dict()),
+        "drifted_columns": sorted(set(drifted)),
+    }
+
+
+def scenario_cell(generated: GeneratedScenario) -> Dict[str, Any]:
+    """One scenario's deterministic golden cell."""
+    spec = generated.spec
+    dataset = generated.dataset
+    cell: Dict[str, Any] = {
+        "spec": spec.to_dict(),
+        "rows": dataset.dirty.num_rows,
+        "columns": dataset.dirty.column_names,
+        "cells_corrupted": len(generated.cell_diff),
+        "duplicate_rows": len(generated.duplicate_rows),
+        "renamed_columns": dict(sorted(generated.renamed_columns.items())),
+        "error_census": {
+            kind.value: count for kind, count in sorted(
+                dataset.error_census().items(), key=lambda item: item[0].value
+            )
+        },
+        "model_counts": generated.model_counts,
+        "dirty_sha256": _sha256(to_csv_text(dataset.dirty)),
+        "clean_sha256": _sha256(to_csv_text(dataset.clean)),
+        "cocoon": _cocoon_scores(generated),
+    }
+    # Stream stats only where the spec makes traffic promises — keeps the
+    # cheap scenarios cheap and pins the drift pair's replan counters.
+    if spec.expect_drift or spec.batch_parity:
+        cell["stream"] = _stream_stats(generated)
+    return cell
+
+
+def build_payload(names: Optional[Iterable[str]] = None) -> Dict[str, Any]:
+    """The full golden payload for the built-in catalogue (or a subset)."""
+    specs = builtin_specs()
+    selected = list(names) if names is not None else sorted(specs)
+    cells: Dict[str, Any] = {}
+    for name in selected:
+        cells[name] = scenario_cell(generate(specs[name]))
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "config": {"seed": 0, "scale": 0.05, "scenarios": len(cells)},
+        "cells": cells,
+    }
+
+
+def write_golden(path: Union[str, Path] = GOLDEN_PATH, payload: Optional[Dict[str, Any]] = None) -> Path:
+    """Write (refresh) the committed corpus; returns the path written."""
+    target = Path(path)
+    target.write_text(canonical_json(payload or build_payload()), encoding="utf-8")
+    return target
+
+
+def check_golden(path: Union[str, Path] = GOLDEN_PATH) -> List[str]:
+    """Regenerate and diff against the committed corpus (empty = clean).
+
+    Also enforces that the committed file itself is in canonical form, so a
+    hand-edit that happens to parse equal still fails the gate.
+    """
+    target = Path(path)
+    if not target.exists():
+        return [f"golden corpus missing: {target}"]
+    expected = load_golden(target)
+    differences = diff_golden(expected, build_payload())
+    committed = target.read_text(encoding="utf-8")
+    if committed != canonical_json(expected):
+        differences.append(f"{target.name} is not in canonical JSON form (refresh it)")
+    return differences

@@ -1,0 +1,551 @@
+"""Composable, seeded error models.
+
+Each model is a small dataclass that transforms a clean :class:`Table` into
+a corrupted table **plus an exact ground-truth diff** — the three artefacts
+a regression corpus needs: *what* changed, *where*, and *from what*.  The
+contract every model obeys (pinned by the hypothesis property suite in
+``tests/scenarios/test_model_properties.py``):
+
+* **Seeded determinism** — ``apply(table, rng)`` draws all randomness from
+  the caller's ``random.Random``; equal seeds give byte-equal outcomes.
+* **Exact diffs** — every output cell that differs from the input under
+  :func:`~repro.datasets.base.strict_differs` appears in
+  ``ModelOutcome.cell_edits`` (and nothing else does); appended duplicate
+  rows and column renames are reported separately, never as cell edits.
+* **rate=0.0 is the identity** — no edits, no rows, no renames.
+
+Models compose: :mod:`repro.scenarios.spec` chains them left to right, each
+seeing the previous model's output, with a child RNG per model derived from
+the scenario seed.  The library covers the error families the roadmap calls
+out — classic typos, unit/scale drift, schema evolution, locale mixes,
+*correlated* FD violations (whole determinant groups agree on the wrong
+value), duplicate storms, and the adversarial values that broke PR 5's SQL
+layer (keyword column names, ``'nan'``/``'inf'``/``'Infinity'`` strings,
+quotes and escapes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, fields
+from typing import Any, ClassVar, Dict, List, Optional, Tuple, Type
+
+import random
+
+from repro.dataframe.column import Column
+from repro.dataframe.schema import is_null
+from repro.dataframe.table import Table
+from repro.datasets.base import strict_differs
+from repro.datasets.errors import make_typo
+
+
+class ScenarioError(ValueError):
+    """A scenario or model specification that cannot be applied."""
+
+
+@dataclass(frozen=True)
+class CellEdit:
+    """One corrupted cell: where it is, what it was, what it became."""
+
+    row: int
+    column: str
+    clean_value: object
+    dirty_value: object
+
+
+@dataclass
+class ModelOutcome:
+    """What one model application did to the table."""
+
+    table: Table
+    #: Cells whose value changed, addressed in the *output* table.
+    cell_edits: List[CellEdit] = field(default_factory=list)
+    #: Output-table indices of appended duplicate rows (always a suffix).
+    duplicated_rows: List[int] = field(default_factory=list)
+    #: Source row of each appended duplicate (parallel to ``duplicated_rows``).
+    duplicate_sources: List[int] = field(default_factory=list)
+    #: Column renames this model performed (old name -> new name).
+    renamed_columns: Dict[str, str] = field(default_factory=dict)
+
+
+def _scaled_count(rate: float, population: int) -> int:
+    """``rate`` of ``population``, truncating but immune to float dust."""
+    return int(rate * population + 1e-9)
+
+
+def _non_empty(value: object) -> bool:
+    return not is_null(value) and str(value).strip() != ""
+
+
+def _parse_finite(value: object) -> Optional[float]:
+    try:
+        number = float(str(value))
+    except (TypeError, ValueError):
+        return None
+    return number if math.isfinite(number) else None
+
+
+@dataclass
+class ErrorModel:
+    """Base class: the rate knob plus the (de)serialisation contract."""
+
+    name: ClassVar[str] = "abstract"
+    rate: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ScenarioError(f"{self.name}: rate must be in [0, 1], got {self.rate}")
+
+    # -- to be provided by concrete models -----------------------------------------
+    def apply(self, table: Table, rng: random.Random) -> ModelOutcome:
+        raise NotImplementedError
+
+    # -- JSON round-trip -----------------------------------------------------------
+    def params(self) -> Dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"model": self.name, **self.params()}
+
+    # -- shared helpers ------------------------------------------------------------
+    def _target_columns(self, table: Table, requested: Optional[List[str]]) -> List[str]:
+        if requested is None:
+            return list(table.column_names)
+        missing = [c for c in requested if not table.has_column(c)]
+        if missing:
+            raise ScenarioError(
+                f"{self.name}: column(s) {missing} not in table "
+                f"(has {table.column_names})"
+            )
+        return list(requested)
+
+    def _pick_cells(
+        self,
+        table: Table,
+        columns: List[str],
+        rng: random.Random,
+        eligible,
+    ) -> List[Tuple[int, str]]:
+        """Sample ``rate`` of the eligible cells, in deterministic order."""
+        cells = [
+            (row, column)
+            for column in columns
+            for row, value in enumerate(table.column(column).values)
+            if eligible(value)
+        ]
+        count = _scaled_count(self.rate, len(cells))
+        if not count:
+            return []
+        return sorted(rng.sample(cells, count))
+
+    def _substitute(
+        self,
+        table: Table,
+        chosen: List[Tuple[int, str]],
+        corrupt,
+    ) -> ModelOutcome:
+        """Apply a per-cell corruption function; no-op edits are dropped."""
+        values = {c.name: list(c.values) for c in table.columns}
+        edits: List[CellEdit] = []
+        for row, column in chosen:
+            clean_value = values[column][row]
+            dirty_value = corrupt(clean_value)
+            if not strict_differs(dirty_value, clean_value):
+                continue
+            values[column][row] = dirty_value
+            edits.append(CellEdit(row, column, clean_value, dirty_value))
+        out = Table(table.name, [Column(c.name, values[c.name]) for c in table.columns])
+        return ModelOutcome(table=out, cell_edits=edits)
+
+
+@dataclass
+class TypoModel(ErrorModel):
+    """Classic single-character edits on string cells."""
+
+    name: ClassVar[str] = "typos"
+    columns: Optional[List[str]] = None
+    min_length: int = 3
+
+    def apply(self, table: Table, rng: random.Random) -> ModelOutcome:
+        targets = self._target_columns(table, self.columns)
+        chosen = self._pick_cells(
+            table, targets, rng,
+            lambda v: _non_empty(v) and len(str(v)) >= self.min_length,
+        )
+        return self._substitute(table, chosen, lambda v: make_typo(str(v), rng))
+
+
+@dataclass
+class UnitDriftModel(ErrorModel):
+    """Numeric values silently change unit/scale (metres -> millimetres)."""
+
+    name: ClassVar[str] = "unit_drift"
+    columns: Optional[List[str]] = None
+    factor: float = 1000.0
+
+    def apply(self, table: Table, rng: random.Random) -> ModelOutcome:
+        targets = self._target_columns(table, self.columns)
+        chosen = self._pick_cells(
+            table, targets, rng, lambda v: _parse_finite(v) is not None
+        )
+
+        def corrupt(value: object) -> str:
+            scaled = _parse_finite(value) * self.factor  # type: ignore[operator]
+            return str(int(scaled)) if float(scaled).is_integer() else str(scaled)
+
+        return self._substitute(table, chosen, corrupt)
+
+
+#: Boolean-ish surface forms the ``codes`` schema-evolution mode migrates.
+_CODE_MAP = {"yes": "Y", "no": "N", "true": "T", "false": "F", "1": "Y", "0": "N"}
+
+_SCHEMA_MODES = ("uppercase", "zero_pad", "codes", "prefixed")
+
+
+@dataclass
+class SchemaEvolutionModel(ErrorModel):
+    """A producer migrated its value representation mid-dataset.
+
+    ``mode`` picks the migration: ``uppercase`` (case convention change),
+    ``zero_pad`` (numeric ids gain fixed width), ``codes`` (booleans become
+    single-letter codes), ``prefixed`` (a version tag is prepended).
+    """
+
+    name: ClassVar[str] = "schema_evolution"
+    columns: Optional[List[str]] = None
+    mode: str = "uppercase"
+    width: int = 6
+    prefix: str = "v2:"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.mode not in _SCHEMA_MODES:
+            raise ScenarioError(
+                f"{self.name}: mode must be one of {_SCHEMA_MODES}, got {self.mode!r}"
+            )
+
+    def _eligible(self, value: object) -> bool:
+        if not _non_empty(value):
+            return False
+        text = str(value)
+        if self.mode == "uppercase":
+            return text.upper() != text
+        if self.mode == "zero_pad":
+            return text.isdigit() and len(text) < self.width
+        if self.mode == "codes":
+            return text.strip().lower() in _CODE_MAP
+        return True  # prefixed: any non-empty value
+
+    def _corrupt(self, value: object) -> str:
+        text = str(value)
+        if self.mode == "uppercase":
+            return text.upper()
+        if self.mode == "zero_pad":
+            return text.zfill(self.width)
+        if self.mode == "codes":
+            return _CODE_MAP[text.strip().lower()]
+        return self.prefix + text
+
+    def apply(self, table: Table, rng: random.Random) -> ModelOutcome:
+        targets = self._target_columns(table, self.columns)
+        chosen = self._pick_cells(table, targets, rng, self._eligible)
+        return self._substitute(table, chosen, self._corrupt)
+
+
+#: Vowels gain diacritics under the ``locale_mix`` accent branch.
+_ACCENTS = str.maketrans("aeiouAEIOU", "áéíóúÁÉÍÓÚ")
+
+
+@dataclass
+class LocaleMixModel(ErrorModel):
+    """A slice of the data arrives in another locale/encoding convention.
+
+    Decimal numbers gain a decimal *comma*; plain text gains accented
+    vowels (the mojibake-adjacent shapes a UTF-8 pipeline must survive).
+    """
+
+    name: ClassVar[str] = "locale_mix"
+    columns: Optional[List[str]] = None
+
+    @staticmethod
+    def _corrupt(value: object) -> str:
+        text = str(value)
+        if _parse_finite(text) is not None and "." in text:
+            return text.replace(".", ",")
+        return text.translate(_ACCENTS)
+
+    def apply(self, table: Table, rng: random.Random) -> ModelOutcome:
+        chosen = self._pick_cells(
+            table,
+            self._target_columns(table, self.columns),
+            rng,
+            lambda v: _non_empty(v) and strict_differs(self._corrupt(v), v),
+        )
+        return self._substitute(table, chosen, self._corrupt)
+
+
+@dataclass
+class FDViolationModel(ErrorModel):
+    """Correlated functional-dependency violations.
+
+    ``rate`` selects a fraction of the *determinant groups*; within each
+    selected group every row (or a ``rows_fraction`` of them) gets the
+    **same** wrong dependent value borrowed from another group — so the
+    violation is internally consistent and a naive majority vote inside the
+    group cannot recover the truth.
+    """
+
+    name: ClassVar[str] = "fd_violations"
+    determinant: str = ""
+    dependent: str = ""
+    rows_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.determinant or not self.dependent:
+            raise ScenarioError(f"{self.name}: determinant and dependent are required")
+        if not 0.0 < self.rows_fraction <= 1.0:
+            raise ScenarioError(
+                f"{self.name}: rows_fraction must be in (0, 1], got {self.rows_fraction}"
+            )
+
+    def apply(self, table: Table, rng: random.Random) -> ModelOutcome:
+        for column in (self.determinant, self.dependent):
+            if not table.has_column(column):
+                raise ScenarioError(
+                    f"{self.name}: column {column!r} not in table ({table.column_names})"
+                )
+        det_values = table.column(self.determinant).values
+        dep_values = table.column(self.dependent).values
+        groups: Dict[str, List[int]] = {}
+        for row, value in enumerate(det_values):
+            if _non_empty(value):
+                groups.setdefault(str(value), []).append(row)
+        distinct_deps = sorted({str(v) for v in dep_values if _non_empty(v)})
+        keys = sorted(groups)
+        count = _scaled_count(self.rate, len(keys))
+        chosen_keys = sorted(rng.sample(keys, count)) if count else []
+
+        values = {c.name: list(c.values) for c in table.columns}
+        edits: List[CellEdit] = []
+        for key in chosen_keys:
+            rows = [r for r in groups[key] if _non_empty(values[self.dependent][r])]
+            if not rows:
+                continue
+            originals = {str(values[self.dependent][r]) for r in rows}
+            alternatives = [v for v in distinct_deps if v not in originals]
+            if not alternatives:
+                continue
+            replacement = rng.choice(alternatives)
+            take = max(1, _scaled_count(self.rows_fraction, len(rows)))
+            group_rows = sorted(rng.sample(rows, take)) if take < len(rows) else rows
+            for row in group_rows:
+                clean_value = values[self.dependent][row]
+                values[self.dependent][row] = replacement
+                edits.append(CellEdit(row, self.dependent, clean_value, replacement))
+        out = Table(table.name, [Column(c.name, values[c.name]) for c in table.columns])
+        return ModelOutcome(table=out, cell_edits=edits)
+
+
+@dataclass
+class DuplicateStormModel(ErrorModel):
+    """A burst of repeated rows, optionally with near-duplicate typos.
+
+    ``rate`` is the number of appended duplicates as a fraction of the
+    input's row count; ``near_typo_rate`` is the probability that an
+    appended duplicate gets one typo'd cell (a *near* duplicate, which
+    exercises fuzzy dedup instead of exact).  Duplicates are reported via
+    ``duplicated_rows``/``duplicate_sources`` — they are additions, not
+    cell errors — while near-duplicate typos are regular cell edits on the
+    appended rows.
+    """
+
+    name: ClassVar[str] = "duplicate_storm"
+    near_typo_rate: float = 0.0
+    min_length: int = 3
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.near_typo_rate <= 1.0:
+            raise ScenarioError(
+                f"{self.name}: near_typo_rate must be in [0, 1], got {self.near_typo_rate}"
+            )
+
+    def apply(self, table: Table, rng: random.Random) -> ModelOutcome:
+        rows = table.num_rows
+        count = _scaled_count(self.rate, rows)
+        if count == 0:
+            return ModelOutcome(table=table.copy())
+        sources = [rng.randrange(rows) for _ in range(count)]
+        values = {c.name: list(c.values) for c in table.columns}
+        edits: List[CellEdit] = []
+        for offset, source in enumerate(sources):
+            out_row = rows + offset
+            for name in values:
+                values[name].append(values[name][source])
+            if self.near_typo_rate and rng.random() < self.near_typo_rate:
+                eligible = [
+                    name
+                    for name in table.column_names
+                    if _non_empty(values[name][out_row])
+                    and len(str(values[name][out_row])) >= self.min_length
+                ]
+                if eligible:
+                    column = rng.choice(eligible)
+                    clean_value = values[column][out_row]
+                    dirty_value = make_typo(str(clean_value), rng)
+                    if strict_differs(dirty_value, clean_value):
+                        values[column][out_row] = dirty_value
+                        edits.append(CellEdit(out_row, column, clean_value, dirty_value))
+        out = Table(table.name, [Column(c.name, values[c.name]) for c in table.columns])
+        return ModelOutcome(
+            table=out,
+            cell_edits=edits,
+            duplicated_rows=list(range(rows, rows + count)),
+            duplicate_sources=sources,
+        )
+
+
+#: The value zoo that has historically broken SQL generation and comparison:
+#: non-finite-looking strings, quotes, escapes, separators, overflow floats.
+DEFAULT_ADVERSARIAL_TOKENS = (
+    "nan",
+    "NaN",
+    "inf",
+    "-inf",
+    "Infinity",
+    "1e309",
+    "O'Hare",
+    '"quoted"',
+    "back\\slash",
+    "semi;colon",
+    "comma,value",
+    "null",
+)
+
+
+@dataclass
+class AdversarialValueModel(ErrorModel):
+    """Replace cells with values chosen to stress parsers and comparators."""
+
+    name: ClassVar[str] = "adversarial_values"
+    columns: Optional[List[str]] = None
+    tokens: List[str] = field(default_factory=lambda: list(DEFAULT_ADVERSARIAL_TOKENS))
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.tokens:
+            raise ScenarioError(f"{self.name}: tokens must not be empty")
+
+    def apply(self, table: Table, rng: random.Random) -> ModelOutcome:
+        chosen = self._pick_cells(
+            table, self._target_columns(table, self.columns), rng, _non_empty
+        )
+        return self._substitute(table, chosen, lambda v: rng.choice(self.tokens))
+
+
+#: SQL keywords that double as plausible column names.
+DEFAULT_KEYWORD_POOL = (
+    "select",
+    "from",
+    "where",
+    "order",
+    "group",
+    "join",
+    "table",
+    "key",
+    "index",
+    "desc",
+)
+
+
+@dataclass
+class KeywordColumnModel(ErrorModel):
+    """Rename a fraction of the columns to SQL keywords.
+
+    Not a cell-error model: the *schema* becomes adversarial (PR 5's
+    keyword-quoting bug class).  Renames are reported via
+    ``renamed_columns`` and the values are untouched.
+    """
+
+    name: ClassVar[str] = "keyword_columns"
+    keywords: List[str] = field(default_factory=lambda: list(DEFAULT_KEYWORD_POOL))
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.keywords:
+            raise ScenarioError(f"{self.name}: keywords must not be empty")
+
+    def apply(self, table: Table, rng: random.Random) -> ModelOutcome:
+        names = list(table.column_names)
+        count = _scaled_count(self.rate, len(names))
+        chosen = sorted(rng.sample(names, count)) if count else []
+        pool = [k for k in self.keywords if k not in set(names)]
+        renames: Dict[str, str] = {}
+        for old in chosen:
+            if not pool:
+                break
+            renames[old] = pool.pop(rng.randrange(len(pool)))
+        columns = [
+            Column(renames.get(c.name, c.name), list(c.values), c.dtype)
+            for c in table.columns
+        ]
+        return ModelOutcome(
+            table=Table(table.name, columns), renamed_columns=renames
+        )
+
+
+@dataclass
+class NullSpikeModel(ErrorModel):
+    """A burst of missing values — disguised tokens or genuine NULLs."""
+
+    name: ClassVar[str] = "null_spike"
+    columns: Optional[List[str]] = None
+    tokens: List[str] = field(default_factory=lambda: ["N/A", "null", "--", "unknown"])
+    as_null: bool = False
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.as_null and not self.tokens:
+            raise ScenarioError(f"{self.name}: tokens must not be empty")
+
+    def apply(self, table: Table, rng: random.Random) -> ModelOutcome:
+        chosen = self._pick_cells(
+            table, self._target_columns(table, self.columns), rng, _non_empty
+        )
+        if self.as_null:
+            return self._substitute(table, chosen, lambda v: None)
+        return self._substitute(table, chosen, lambda v: rng.choice(self.tokens))
+
+
+#: Every model, keyed by its spec name.
+MODEL_TYPES: Dict[str, Type[ErrorModel]] = {
+    cls.name: cls
+    for cls in (
+        TypoModel,
+        UnitDriftModel,
+        SchemaEvolutionModel,
+        LocaleMixModel,
+        FDViolationModel,
+        DuplicateStormModel,
+        AdversarialValueModel,
+        KeywordColumnModel,
+        NullSpikeModel,
+    )
+}
+
+
+def model_from_dict(data: Dict[str, Any]) -> ErrorModel:
+    """Rebuild a model from its ``to_dict`` form; unknown names fail loudly."""
+    if not isinstance(data, dict) or "model" not in data:
+        raise ScenarioError(f"model spec must be a dict with a 'model' key, got {data!r}")
+    params = dict(data)
+    name = params.pop("model")
+    if name not in MODEL_TYPES:
+        raise ScenarioError(
+            f"unknown error model {name!r}; valid models: {sorted(MODEL_TYPES)}"
+        )
+    try:
+        return MODEL_TYPES[name](**params)
+    except TypeError as exc:
+        raise ScenarioError(f"bad parameters for model {name!r}: {exc}")

@@ -1,0 +1,432 @@
+"""Scenario specs: composing error models over a base dataset.
+
+A :class:`ScenarioSpec` is a JSON-round-trippable description of one
+corrupted dataset: a registry base dataset, a seed, a list of whole-table
+error models, and (optionally) *phases* — row windows with their own
+models, which is how drift scenarios are written (a stationary prefix, then
+a window where the representation changes).  :func:`generate` turns a spec
+into a :class:`GeneratedScenario` deterministically:
+
+* each model draws from a child RNG ``random.Random(f"{seed}/{i}/{name}")``
+  so inserting a model never perturbs the randomness of its neighbours;
+* duplicate rows are tracked by *origin*, and the ground truth is an
+  **aligned clean table** (a duplicate carries its source row's clean
+  values) so the cell diff stays exact even when the row count grew;
+* column renames apply to dirty and aligned clean alike — an adversarial
+  *schema* is not a cell error;
+* the final diff is recomputed dirty-vs-aligned-clean under
+  :func:`~repro.datasets.base.strict_differs`, which makes
+  ``dataset.error_cells()`` agree with the generator by construction and
+  the result directly scoreable by the existing
+  :class:`~repro.evaluation.runner.ExperimentRunner`.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.workflow import ISSUE_ORDER
+from repro.dataframe.column import Column
+from repro.dataframe.table import Table
+from repro.datasets import load_dataset
+from repro.datasets.base import (
+    BenchmarkDataset,
+    ErrorType,
+    InjectedError,
+    strict_differs,
+)
+from repro.scenarios.models import (
+    CellEdit,
+    ErrorModel,
+    ModelOutcome,
+    ScenarioError,
+    model_from_dict,
+)
+
+#: How each model's edits are classified in the dataset's error census.
+_MODEL_ERROR_TYPES = {
+    "typos": ErrorType.TYPO,
+    "unit_drift": ErrorType.NUMERIC_OUTLIER,
+    "schema_evolution": ErrorType.INCONSISTENCY,
+    "locale_mix": ErrorType.INCONSISTENCY,
+    "fd_violations": ErrorType.FD_VIOLATION,
+    "duplicate_storm": ErrorType.TYPO,  # near-duplicate typo cells
+    "adversarial_values": ErrorType.INCONSISTENCY,
+    "keyword_columns": ErrorType.INCONSISTENCY,  # (renames only; no cells)
+    "null_spike": ErrorType.DMV,
+}
+
+
+@dataclass
+class TrafficSpec:
+    """How the replay harness micro-batches a scenario's dirty table."""
+
+    batch_rows: int = 16
+    #: Priming window for the streaming path; ``None`` defaults to the end
+    #: of the first phase (so drift scenarios prime on stationary data
+    #: only), or 0 (prime on the first batch) when the spec has no phases.
+    prime_rows: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.batch_rows < 1:
+            raise ScenarioError(f"traffic.batch_rows must be >= 1, got {self.batch_rows}")
+        if self.prime_rows is not None and self.prime_rows < 0:
+            raise ScenarioError(f"traffic.prime_rows must be >= 0, got {self.prime_rows}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"batch_rows": self.batch_rows, "prime_rows": self.prime_rows}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TrafficSpec":
+        return cls(**data)
+
+
+@dataclass
+class ScenarioPhase:
+    """A row window with its own error models (the drift-writing primitive)."""
+
+    #: Window size in rows; ``None`` means "the remainder of the table" and
+    #: is only allowed on the last phase.
+    rows: Optional[int]
+    models: List[ErrorModel] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"rows": self.rows, "models": [m.to_dict() for m in self.models]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioPhase":
+        return cls(
+            rows=data.get("rows"),
+            models=[model_from_dict(m) for m in data.get("models", [])],
+        )
+
+
+@dataclass
+class ScenarioSpec:
+    """One deterministic corrupted-dataset recipe."""
+
+    name: str
+    base_dataset: str = "hospital"
+    seed: int = 0
+    scale: float = 0.05
+    #: Optional column subset of the base dataset's clean table.
+    columns: Optional[List[str]] = None
+    #: Whole-table models, applied left to right before any phase.
+    models: List[ErrorModel] = field(default_factory=list)
+    #: Row-window models; windows partition the table after whole-table models.
+    phases: List[ScenarioPhase] = field(default_factory=list)
+    traffic: TrafficSpec = field(default_factory=TrafficSpec)
+    #: Whether the streaming path is expected to re-plan on this scenario
+    #: (asserted by the drift differential tests and the replay harness).
+    expect_drift: bool = False
+    #: Whether the stream's cumulative cleaned output is promised to be
+    #: byte-identical to the whole-table batch pipeline under this spec's
+    #: ``cleaning_issues`` (asserted by the replay harness when set; needs a
+    #: priming window whose statistics agree with the whole table for every
+    #: non-drifting column).
+    batch_parity: bool = False
+    #: Restrict the cleaning pipeline to these issues (both batch and
+    #: stream sides of a replay), e.g. to the column-level issues for which
+    #: stream re-plans preserve batch parity.  ``None`` = all issues.
+    cleaning_issues: Optional[List[str]] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.strip():
+            raise ScenarioError("scenario name must not be empty")
+        if self.scale <= 0:
+            raise ScenarioError(f"scale must be > 0, got {self.scale}")
+        for index, phase in enumerate(self.phases):
+            if phase.rows is None and index != len(self.phases) - 1:
+                raise ScenarioError(
+                    f"phase {index}: rows=None (remainder) is only allowed on the last phase"
+                )
+            if phase.rows is not None and phase.rows < 1:
+                raise ScenarioError(f"phase {index}: rows must be >= 1, got {phase.rows}")
+        if self.cleaning_issues is not None:
+            unknown = [i for i in self.cleaning_issues if i not in ISSUE_ORDER]
+            if unknown:
+                raise ScenarioError(
+                    f"unknown cleaning issue(s) {unknown}; valid: {list(ISSUE_ORDER)}"
+                )
+
+    # -- identity ------------------------------------------------------------------
+    @property
+    def table_name(self) -> str:
+        """The SQL-safe table name generated tables carry."""
+        return self.name.replace("-", "_")
+
+    # -- JSON round-trip -----------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "base_dataset": self.base_dataset,
+            "seed": self.seed,
+            "scale": self.scale,
+            "columns": self.columns,
+            "models": [m.to_dict() for m in self.models],
+            "phases": [p.to_dict() for p in self.phases],
+            "traffic": self.traffic.to_dict(),
+            "expect_drift": self.expect_drift,
+            "batch_parity": self.batch_parity,
+            "cleaning_issues": self.cleaning_issues,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioSpec":
+        if not isinstance(data, dict):
+            raise ScenarioError(f"scenario spec must be a dict, got {type(data).__name__}")
+        known = dict(data)
+        return cls(
+            name=known.get("name", ""),
+            base_dataset=known.get("base_dataset", "hospital"),
+            seed=known.get("seed", 0),
+            scale=known.get("scale", 0.05),
+            columns=known.get("columns"),
+            models=[model_from_dict(m) for m in known.get("models", [])],
+            phases=[ScenarioPhase.from_dict(p) for p in known.get("phases", [])],
+            traffic=TrafficSpec.from_dict(known.get("traffic", {})),
+            expect_drift=known.get("expect_drift", False),
+            batch_parity=known.get("batch_parity", False),
+            cleaning_issues=known.get("cleaning_issues"),
+            description=known.get("description", ""),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"invalid scenario JSON: {exc}")
+        return cls.from_dict(data)
+
+
+@dataclass
+class GeneratedScenario:
+    """A spec, realised: the corrupted dataset plus complete bookkeeping."""
+
+    spec: ScenarioSpec
+    #: Dirty table + aligned clean ground truth + typed injected errors —
+    #: directly scoreable by :class:`~repro.evaluation.runner.ExperimentRunner`.
+    dataset: BenchmarkDataset
+    #: The exact composed diff: (row, column) -> (clean value, dirty value).
+    cell_diff: Dict[Tuple[int, str], Tuple[object, object]] = field(default_factory=dict)
+    #: Output-table indices of appended duplicate rows.
+    duplicate_rows: List[int] = field(default_factory=list)
+    #: Source (origin) row of each appended duplicate, parallel list.
+    duplicate_sources: List[int] = field(default_factory=list)
+    #: Column renames, original name -> final name (changed names only).
+    renamed_columns: Dict[str, str] = field(default_factory=dict)
+    #: Per-model accounting in application order.
+    model_counts: List[Dict[str, Any]] = field(default_factory=list)
+    #: Row windows of the phases, ``(start, end)`` over the dirty table.
+    phase_bounds: List[Tuple[int, int]] = field(default_factory=list)
+
+    # -- traffic ---------------------------------------------------------------------
+    @property
+    def prime_rows(self) -> int:
+        """The streaming prime window this scenario calls for."""
+        if self.spec.traffic.prime_rows is not None:
+            return self.spec.traffic.prime_rows
+        if self.phase_bounds and len(self.phase_bounds) > 1:
+            return self.phase_bounds[0][1]
+        return 0
+
+    def batches(self) -> List[Table]:
+        """The dirty table as micro-batches, aligned to phase boundaries.
+
+        A batch never straddles a phase boundary, so "the drift arrives in
+        batch *k*" is a well-defined statement for replay assertions.
+        """
+        bounds = self.phase_bounds or [(0, self.dataset.dirty.num_rows)]
+        size = self.spec.traffic.batch_rows
+        batches: List[Table] = []
+        for start, end in bounds:
+            cursor = start
+            while cursor < end:
+                upper = min(cursor + size, end)
+                batches.append(self.dataset.dirty.take(range(cursor, upper)))
+                cursor = upper
+        return batches
+
+
+def _child_rng(seed: int, index: int, model_name: str) -> random.Random:
+    """Per-model RNG: stable under insertion/removal of sibling models."""
+    return random.Random(f"{seed}/{index}/{model_name}")
+
+
+def _apply_windowed(
+    model: ErrorModel, table: Table, rng: random.Random, start: int, end: int
+) -> ModelOutcome:
+    """Apply a model to the row window [start, end) and splice the result back."""
+    sub = table.take(range(start, end))
+    outcome = model.apply(sub, rng)
+    if outcome.duplicated_rows or outcome.renamed_columns:
+        raise ScenarioError(
+            f"phase model {model.name!r} may not add rows or rename columns "
+            "(row-count and schema changes are whole-table concerns)"
+        )
+    values = {c.name: list(c.values) for c in table.columns}
+    for name in values:
+        values[name][start:end] = list(outcome.table.column(name).values)
+    spliced = Table(table.name, [Column(c.name, values[c.name]) for c in table.columns])
+    return ModelOutcome(
+        table=spliced,
+        cell_edits=[
+            CellEdit(e.row + start, e.column, e.clean_value, e.dirty_value)
+            for e in outcome.cell_edits
+        ],
+    )
+
+
+def _phase_windows(spec: ScenarioSpec, total_rows: int) -> List[Tuple[int, int]]:
+    """Resolve phase sizes against the (post-whole-table-models) row count."""
+    if not spec.phases:
+        return [(0, total_rows)]
+    bounds: List[Tuple[int, int]] = []
+    cursor = 0
+    for index, phase in enumerate(spec.phases):
+        if phase.rows is None:
+            bounds.append((cursor, total_rows))
+            cursor = total_rows
+            continue
+        upper = cursor + phase.rows
+        if upper > total_rows:
+            raise ScenarioError(
+                f"phase {index} needs rows [{cursor}, {upper}) but the table has "
+                f"only {total_rows} rows (base_dataset={spec.base_dataset!r}, "
+                f"scale={spec.scale})"
+            )
+        bounds.append((cursor, upper))
+        cursor = upper
+    if cursor < total_rows:
+        # Remainder with no models: still a phase for batching purposes.
+        bounds.append((cursor, total_rows))
+    return bounds
+
+
+def generate(spec: ScenarioSpec) -> GeneratedScenario:
+    """Deterministically realise a scenario spec into a scoreable dataset."""
+    try:
+        base = load_dataset(spec.base_dataset, seed=spec.seed, scale=spec.scale)
+    except KeyError as exc:
+        raise ScenarioError(str(exc).strip("'\""))
+    clean = base.clean
+    if spec.columns is not None:
+        missing = [c for c in spec.columns if not clean.has_column(c)]
+        if missing:
+            raise ScenarioError(
+                f"columns {missing} not in base dataset {spec.base_dataset!r} "
+                f"(has {clean.column_names})"
+            )
+        clean = clean.select(spec.columns)
+    clean = clean.rename(spec.table_name)
+
+    working = clean.copy()
+    origin = list(range(working.num_rows))
+    rename_map = {name: name for name in working.column_names}  # original -> current
+    cell_model: Dict[Tuple[int, str], str] = {}  # (row, current column) -> model name
+    model_counts: List[Dict[str, Any]] = []
+    model_index = 0
+
+    def absorb(model: ErrorModel, outcome: ModelOutcome) -> None:
+        nonlocal working
+        working = outcome.table
+        if outcome.renamed_columns:
+            for original, current in list(rename_map.items()):
+                if current in outcome.renamed_columns:
+                    rename_map[original] = outcome.renamed_columns[current]
+            cell_model.update(
+                {
+                    (row, outcome.renamed_columns.get(column, column)): name
+                    for (row, column), name in list(cell_model.items())
+                }
+            )
+            for row, column in [
+                key for key in cell_model if key[1] in outcome.renamed_columns
+            ]:
+                del cell_model[(row, column)]
+        for source in outcome.duplicate_sources:
+            origin.append(origin[source])
+        for edit in outcome.cell_edits:
+            cell_model[(edit.row, edit.column)] = model.name
+        model_counts.append(
+            {
+                "model": model.name,
+                "cells": len(outcome.cell_edits),
+                "rows_added": len(outcome.duplicated_rows),
+                "columns_renamed": len(outcome.renamed_columns),
+            }
+        )
+
+    for model in spec.models:
+        rng = _child_rng(spec.seed, model_index, model.name)
+        absorb(model, model.apply(working, rng))
+        model_index += 1
+
+    phase_bounds = _phase_windows(spec, working.num_rows)
+    for phase, (start, end) in zip(spec.phases, phase_bounds):
+        for model in phase.models:
+            rng = _child_rng(spec.seed, model_index, model.name)
+            absorb(model, _apply_windowed(model, working, rng, start, end))
+            model_index += 1
+
+    # The aligned clean table: duplicates inherit their origin row's clean
+    # values; columns carry their final (possibly keyword) names.
+    current_to_original = {current: original for original, current in rename_map.items()}
+    aligned_columns = []
+    for current in working.column_names:
+        source = clean.column(current_to_original[current]).values
+        aligned_columns.append(Column(current, [source[origin[i]] for i in range(working.num_rows)]))
+    aligned_clean = Table(working.name, aligned_columns)
+
+    # The composed ground-truth diff, recomputed from scratch: a later model
+    # may have overwritten (or reverted) an earlier model's edit, and the
+    # diff must describe the *final* table, not the edit history.
+    cell_diff: Dict[Tuple[int, str], Tuple[object, object]] = {}
+    injected: List[InjectedError] = []
+    for column in working.column_names:
+        dirty_values = working.column(column).values
+        clean_values = aligned_clean.column(column).values
+        for row, (dirty_value, clean_value) in enumerate(zip(dirty_values, clean_values)):
+            if not strict_differs(dirty_value, clean_value):
+                continue
+            cell_diff[(row, column)] = (clean_value, dirty_value)
+            responsible = cell_model.get((row, column), "")
+            injected.append(
+                InjectedError(
+                    row=row,
+                    column=column,
+                    error_type=_MODEL_ERROR_TYPES.get(responsible, ErrorType.INCONSISTENCY),
+                    clean_value=clean_value,
+                    dirty_value=dirty_value,
+                )
+            )
+
+    duplicate_rows = [i for i in range(clean.num_rows, working.num_rows)]
+    dataset = BenchmarkDataset(
+        name=spec.table_name,
+        dirty=working,
+        clean=aligned_clean,
+        injected_errors=injected,
+        description=spec.description or f"scenario {spec.name!r} over {spec.base_dataset}",
+    )
+    return GeneratedScenario(
+        spec=spec,
+        dataset=dataset,
+        cell_diff=cell_diff,
+        duplicate_rows=duplicate_rows,
+        duplicate_sources=[origin[i] for i in duplicate_rows],
+        renamed_columns={
+            original: current for original, current in rename_map.items() if original != current
+        },
+        model_counts=model_counts,
+        phase_bounds=phase_bounds,
+    )

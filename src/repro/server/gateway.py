@@ -39,6 +39,7 @@ from repro.obs.metrics import MetricsRegistry, prometheus_gauges_from
 from repro.obs.metrics import get_registry as get_default_registry
 from repro.service.jobs import JobStatus
 from repro.service.scheduler import CleaningService
+from repro.stream.drift import DriftConfig
 from repro.stream.service import StreamService
 
 #: Request-level events the gateway always reports, even at zero.
@@ -83,6 +84,9 @@ class CleaningGateway:
         retry_after_seconds: float = 1.0,
         metrics_registry: Optional[MetricsRegistry] = None,
         tracing: bool = True,
+        detect_drift: bool = True,
+        drift_config: Optional["DriftConfig"] = None,
+        stream_prime_rows: int = 0,
     ):
         self.llm_factory = llm_factory or SimulatedSemanticLLM
         self.retry_after_seconds = retry_after_seconds
@@ -113,6 +117,9 @@ class CleaningGateway:
             max_pending_batches=max_pending_batches,
             config=config,
             llm_factory=lambda: cached_client(self.llm_factory(), self.cache),
+            detect_drift=detect_drift,
+            drift_config=drift_config,
+            prime_rows=stream_prime_rows,
             metrics_registry=self.registry,
         )
         self.started_at = time.time()
@@ -296,6 +303,34 @@ class CleaningGateway:
             "pending_batches": stream.pending_batches,
             "failed": stream.failed,
             "failure": stream.failure,
+        }
+
+    def stream_result(self, stream_name: str) -> Dict[str, Any]:
+        """``GET /v1/streams/{name}/result``: the cumulative cleaned output.
+
+        Returns the stream cleaner's cleaned table as CSV plus its stats —
+        the streaming counterpart of ``/v1/jobs/{id}/result``, which is what
+        lets the scenario replay harness assert byte-parity between the
+        HTTP stream path and an in-process reference.  Raises
+        :class:`ResultNotReady` while batches are still pending (the
+        snapshot would race the workers), and ``KeyError`` (404) for
+        unknown streams.
+        """
+        stream = self.streams.stream(stream_name)
+        pending = stream.pending_batches
+        if pending:
+            raise ResultNotReady(
+                f"stream {stream_name!r} still has {pending} pending batches"
+            )
+        cleaned = stream.cleaner.cleaned_table()
+        return {
+            "stream": stream_name,
+            "rows": cleaned.num_rows,
+            "columns": cleaned.column_names,
+            "csv": to_csv_text(cleaned),
+            "failed": stream.failed,
+            "failure": stream.failure,
+            "stats": stream.cleaner.stats.to_dict(),
         }
 
     def job_trace(self, job_id: int) -> Dict[str, Any]:

@@ -17,6 +17,8 @@ Routing table::
     GET  /v1/jobs/{id}/trace          span tree of the job's execution
     POST /v1/streams/{name}/batches   feed one micro-batch (429 on backpressure)
     GET  /v1/streams/{name}           per-stream counters
+    GET  /v1/streams/{name}/result    cumulative cleaned CSV + stream stats
+                                      (409 while batches are pending)
 
 Every request carries an id: an incoming ``X-Request-Id`` header is honoured
 (so callers can correlate), otherwise one is generated; the id is echoed on
@@ -48,6 +50,7 @@ _JOB_RESULT_PATH = re.compile(r"^/v1/jobs/(\d+)/result$")
 _JOB_TRACE_PATH = re.compile(r"^/v1/jobs/(\d+)/trace$")
 _STREAM_PATH = re.compile(r"^/v1/streams/([^/]+)$")
 _STREAM_BATCHES_PATH = re.compile(r"^/v1/streams/([^/]+)/batches$")
+_STREAM_RESULT_PATH = re.compile(r"^/v1/streams/([^/]+)/result$")
 
 #: Request bodies above this size are refused outright (64 MiB).
 MAX_BODY_BYTES = 64 * 1024 * 1024
@@ -254,6 +257,13 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
                 self._send_error_json(503, "server is draining")
                 return
             self._send_json(202, gateway.submit_stream_batch(match.group(1), self._payload()))
+            return
+        match = _STREAM_RESULT_PATH.match(path)
+        if match:
+            if method != "GET":
+                self._send_error_json(405, "stream results are read-only")
+                return
+            self._send_json(200, gateway.stream_result(match.group(1)))
             return
         match = _STREAM_PATH.match(path)
         if match:

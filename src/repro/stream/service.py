@@ -230,6 +230,7 @@ class StreamService:
         config: Optional[CleaningConfig] = None,
         detect_drift: bool = True,
         drift_config: Optional[DriftConfig] = None,
+        prime_rows: int = 0,
         metrics_registry: Optional[MetricsRegistry] = None,
     ):
         if max_pending_batches < 1:
@@ -253,6 +254,7 @@ class StreamService:
         self.config = config
         self.detect_drift = detect_drift
         self.drift_config = drift_config
+        self.prime_rows = prime_rows
         self._streams: Dict[str, ManagedStream] = {}
         self._lock = threading.Lock()
         self.pool = WorkerPool(
@@ -269,8 +271,10 @@ class StreamService:
         config: Optional[CleaningConfig] = None,
         max_pending_batches: Optional[int] = None,
         priority: int = 0,
+        prime_rows: Optional[int] = None,
     ) -> ManagedStream:
-        """Register a new named stream (its cleaner primes on the first batch)."""
+        """Register a new named stream (its cleaner primes on the first batch,
+        or buffers toward ``prime_rows`` when a priming window is set)."""
         with self._lock:
             if name in self._streams:
                 raise ValueError(f"Stream {name!r} already exists")
@@ -282,6 +286,7 @@ class StreamService:
                 config=config or self.config,
                 detect_drift=self.detect_drift,
                 drift_config=self.drift_config,
+                prime_rows=self.prime_rows if prime_rows is None else prime_rows,
             )
             stream = ManagedStream(
                 name,

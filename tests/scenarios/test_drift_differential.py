@@ -1,0 +1,50 @@
+"""The drift differential: detector fires on drifting traffic, stays silent
+on stationary traffic — asserted over the catalogue's declared expectations
+and proven via ``repro.obs`` span names, not just counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import builtin_specs, get_scenario, replay_inprocess
+from repro.scenarios.replay import PRIME_SPAN, REPLAN_SPAN, ReplayMismatch
+
+
+def _traffic_scenarios():
+    return [
+        name for name, spec in sorted(builtin_specs().items())
+        if spec.phases or spec.expect_drift or spec.batch_parity
+    ]
+
+
+@pytest.mark.parametrize("name", ["drift-mid-stream"])
+def test_drifting_scenarios_trigger_the_replan_path(name: str) -> None:
+    report = replay_inprocess(get_scenario(name))
+    assert report.replans >= 1
+    assert REPLAN_SPAN in report.span_names
+    assert PRIME_SPAN in report.span_names
+    assert report.drifted_columns == ["EmergencyService"]
+
+
+@pytest.mark.parametrize("name", ["stationary-baseline"])
+def test_stationary_scenarios_keep_the_detector_silent(name: str) -> None:
+    report = replay_inprocess(get_scenario(name))
+    assert report.replans == 0
+    assert REPLAN_SPAN not in report.span_names
+    assert report.drifted_columns == []
+
+
+def test_expectations_are_checked_not_just_reported() -> None:
+    """Flipping a drifting spec's expectation must raise ReplayMismatch."""
+    spec = get_scenario("drift-mid-stream")
+    spec.expect_drift = False
+    with pytest.raises(ReplayMismatch, match="re-planned"):
+        replay_inprocess(spec)
+
+
+def test_every_traffic_scenario_has_a_declared_expectation() -> None:
+    names = _traffic_scenarios()
+    assert "drift-mid-stream" in names and "stationary-baseline" in names
+    for name in names:
+        spec = builtin_specs()[name]
+        assert isinstance(spec.expect_drift, bool)

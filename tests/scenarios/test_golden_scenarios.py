@@ -1,0 +1,68 @@
+"""The scenario regression gate: reproduce ``GOLDEN_scenarios.json`` exactly.
+
+Same contract as the experiment corpus: deterministic fields only, canonical
+JSON on disk, byte-identical regeneration in tier-1.  The sanctioned way to
+move the corpus (after verifying the drift is intended) is::
+
+    python -m repro.scenarios --golden --refresh
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.matrix import canonical_json, diff_golden, load_golden
+from repro.scenarios.corpus import GOLDEN_PATH, SCHEMA_VERSION, build_payload, check_golden
+
+
+def test_golden_corpus_exists_and_is_big_enough() -> None:
+    assert GOLDEN_PATH.exists(), "GOLDEN_scenarios.json is missing; run --golden --refresh"
+    cells = load_golden(GOLDEN_PATH)["cells"]
+    assert len(cells) >= 8
+
+
+def test_golden_corpus_matches_byte_for_byte() -> None:
+    expected = load_golden(GOLDEN_PATH)
+    actual = build_payload()
+    differences = diff_golden(expected, actual)
+    assert not differences, "golden scenario drift:\n" + "\n".join(differences)
+    assert canonical_json(actual) == GOLDEN_PATH.read_text(encoding="utf-8")
+
+
+def test_committed_file_is_canonical() -> None:
+    text = GOLDEN_PATH.read_text(encoding="utf-8")
+    assert text == canonical_json(json.loads(text)), (
+        "GOLDEN_scenarios.json was edited by hand; refresh it instead"
+    )
+
+
+def test_no_wall_clock_fields_in_the_corpus() -> None:
+    payload = load_golden(GOLDEN_PATH)
+    assert payload["schema_version"] == SCHEMA_VERSION
+
+    def walk(node, path=""):
+        if isinstance(node, dict):
+            for key, value in node.items():
+                assert key not in ("seconds", "runtime_seconds"), f"{path}.{key}"
+                walk(value, f"{path}.{key}")
+        elif isinstance(node, list):
+            for index, value in enumerate(node):
+                walk(value, f"{path}[{index}]")
+
+    walk(payload)
+
+
+def test_drift_cell_pins_the_replan_path() -> None:
+    """The corpus itself asserts the acceptance behaviour: one replan,
+    EmergencyService drifted, and zero replans on the stationary twin."""
+    cells = load_golden(GOLDEN_PATH)["cells"]
+    drift = cells["drift-mid-stream"]["stream"]
+    assert drift["replans"] == 1
+    assert drift["drifted_columns"] == ["EmergencyService"]
+    baseline = cells["stationary-baseline"]["stream"]
+    assert baseline["replans"] == 0
+    assert baseline["drifted_columns"] == []
+
+
+def test_check_golden_reports_clean() -> None:
+    assert check_golden() == []

@@ -1,0 +1,128 @@
+"""Property tests: the error-model invariants the whole subsystem rests on.
+
+Three laws, checked per model over fuzzed seeds and rates:
+
+* **determinism** — the same seed yields byte-identical corrupted tables
+  and identical edit lists;
+* **rate zero is identity** — ``rate=0.0`` corrupts nothing and (for the
+  duplicate model) adds nothing;
+* **the diff is exact** — every reported edit really differs under
+  :func:`~repro.datasets.base.strict_differs`, really appears in the dirty
+  table, and every cell *not* in the diff is untouched.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataframe import Table
+from repro.datasets.base import strict_differs
+from repro.scenarios import (
+    AdversarialValueModel,
+    DuplicateStormModel,
+    FDViolationModel,
+    LocaleMixModel,
+    NullSpikeModel,
+    SchemaEvolutionModel,
+    TypoModel,
+    UnitDriftModel,
+)
+from repro.scenarios.spec import generate
+from repro.scenarios.catalog import get_scenario
+
+
+def _base() -> Table:
+    return Table.from_dict(
+        "prop",
+        {
+            "name": ["Mercy General", "Saint Luke", "City Hospital", "County Clinic",
+                     "Valley Medical", "North Care", "Lakeside Lodge", "Hilltop House",
+                     "Bayview", "Crestwood"],
+            "flag": ["yes", "no", "yes", "yes", "no", "yes", "no", "no", "yes", "no"],
+            "ratio": ["0.056", "0.041", "0.077", "0.065", "0.058",
+                      "0.049", "0.051", "0.062", "0.044", "0.071"],
+            "code": ["A1", "A1", "B2", "B2", "B2", "C3", "C3", "C3", "D4", "D4"],
+            "dep": ["east", "east", "west", "west", "west",
+                    "south", "south", "south", "north", "north"],
+        },
+    )
+
+
+def _models(rate: float):
+    return [
+        TypoModel(rate=rate, columns=["name"], min_length=4),
+        UnitDriftModel(rate=rate, columns=["ratio"]),
+        SchemaEvolutionModel(rate=rate, columns=["flag"], mode="codes"),
+        LocaleMixModel(rate=rate, columns=["ratio", "dep"]),
+        FDViolationModel(rate=rate, determinant="code", dependent="dep"),
+        DuplicateStormModel(rate=rate, near_typo_rate=0.5),
+        AdversarialValueModel(rate=rate, columns=["ratio"]),
+        NullSpikeModel(rate=rate, columns=["dep"]),
+    ]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    model_index=st.integers(min_value=0, max_value=7),
+    rate=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_models_are_deterministic_under_a_fixed_seed(model_index, rate, seed) -> None:
+    base = _base()
+    first = _models(rate)[model_index].apply(base, random.Random(seed))
+    second = _models(rate)[model_index].apply(_base(), random.Random(seed))
+    assert first.table == second.table
+    assert first.cell_edits == second.cell_edits
+    assert first.duplicated_rows == second.duplicated_rows
+    assert first.renamed_columns == second.renamed_columns
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    model_index=st.integers(min_value=0, max_value=7),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_rate_zero_is_identity(model_index, seed) -> None:
+    base = _base()
+    outcome = _models(0.0)[model_index].apply(base, random.Random(seed))
+    assert outcome.table == base
+    assert outcome.cell_edits == []
+    assert outcome.duplicated_rows == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    model_index=st.integers(min_value=0, max_value=7),
+    rate=st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_diff_exactly_describes_the_corruption(model_index, rate, seed) -> None:
+    base = _base()
+    outcome = _models(rate)[model_index].apply(base, random.Random(seed))
+    edited = set()
+    for edit in outcome.cell_edits:
+        edited.add((edit.row, edit.column))
+        assert strict_differs(edit.dirty_value, edit.clean_value)
+        assert outcome.table.column(edit.column).values[edit.row] == edit.dirty_value
+    # cells outside the diff (and outside appended duplicates) are untouched
+    duplicates = set(outcome.duplicated_rows)
+    for column in base.column_names:
+        before = base.column(column).values
+        after = outcome.table.column(column).values
+        for row in range(base.num_rows):
+            if row in duplicates or (row, column) in edited:
+                continue
+            assert not strict_differs(after[row], before[row]), (row, column)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_generated_scenarios_agree_with_dataset_ground_truth(seed) -> None:
+    """End-to-end: generate() at any seed keeps diff == dataset.error_cells()."""
+    spec = get_scenario("unit-drift")
+    spec.seed = seed
+    generated = generate(spec)
+    assert set(generated.cell_diff) == generated.dataset.error_cells()

@@ -1,0 +1,152 @@
+"""Unit tests for the composable error models."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dataframe import Table
+from repro.datasets.base import strict_differs
+from repro.scenarios import (
+    MODEL_TYPES,
+    AdversarialValueModel,
+    DuplicateStormModel,
+    FDViolationModel,
+    KeywordColumnModel,
+    LocaleMixModel,
+    NullSpikeModel,
+    ScenarioError,
+    SchemaEvolutionModel,
+    TypoModel,
+    UnitDriftModel,
+    model_from_dict,
+)
+from repro.scenarios.models import DEFAULT_ADVERSARIAL_TOKENS, DEFAULT_KEYWORD_POOL
+
+
+@pytest.fixture
+def base() -> Table:
+    return Table.from_dict(
+        "base",
+        {
+            "name": ["Mercy General", "Saint Luke", "City Hospital", "County Clinic",
+                     "Valley Medical", "North Care", "Lakeside", "Hilltop"],
+            "flag": ["yes", "no", "yes", "yes", "no", "yes", "no", "no"],
+            "ratio": ["0.056", "0.041", "0.077", "0.065", "0.058", "0.049", "0.051", "0.062"],
+            "code": ["A1", "A1", "B2", "B2", "B2", "C3", "C3", "C3"],
+            "dep": ["east", "east", "west", "west", "west", "south", "south", "south"],
+        },
+    )
+
+
+def _rng() -> random.Random:
+    return random.Random("test")
+
+
+def test_typo_edits_differ_and_stay_in_columns(base: Table) -> None:
+    outcome = TypoModel(rate=0.5, columns=["name"], min_length=4).apply(base, _rng())
+    assert outcome.cell_edits
+    for edit in outcome.cell_edits:
+        assert edit.column == "name"
+        assert strict_differs(edit.dirty_value, edit.clean_value)
+        assert outcome.table.column("name").values[edit.row] == edit.dirty_value
+    # untouched columns are identical
+    assert outcome.table.column("flag").values == base.column("flag").values
+
+
+def test_typo_min_length_excludes_short_strings(base: Table) -> None:
+    outcome = TypoModel(rate=1.0, columns=["code"], min_length=3).apply(base, _rng())
+    assert outcome.cell_edits == []
+
+
+def test_unit_drift_multiplies(base: Table) -> None:
+    outcome = UnitDriftModel(rate=1.0, columns=["ratio"], factor=1000.0).apply(base, _rng())
+    assert len(outcome.cell_edits) == base.num_rows
+    for edit in outcome.cell_edits:
+        assert float(edit.dirty_value) == pytest.approx(float(edit.clean_value) * 1000.0)
+
+
+def test_schema_evolution_codes(base: Table) -> None:
+    outcome = SchemaEvolutionModel(rate=1.0, columns=["flag"], mode="codes").apply(base, _rng())
+    assert {e.dirty_value for e in outcome.cell_edits} <= {"Y", "N"}
+    assert len(outcome.cell_edits) == base.num_rows
+
+
+def test_locale_mix_decimal_comma(base: Table) -> None:
+    outcome = LocaleMixModel(rate=1.0, columns=["ratio"]).apply(base, _rng())
+    assert outcome.cell_edits
+    for edit in outcome.cell_edits:
+        assert "," in edit.dirty_value
+
+
+def test_fd_violations_are_correlated(base: Table) -> None:
+    model = FDViolationModel(rate=0.5, determinant="code", dependent="dep", rows_fraction=1.0)
+    outcome = model.apply(base, _rng())
+    assert outcome.cell_edits
+    # within one determinant group every edited row gets the SAME wrong value
+    by_group = {}
+    codes = base.column("code").values
+    for edit in outcome.cell_edits:
+        assert edit.column == "dep"
+        by_group.setdefault(codes[edit.row], set()).add(edit.dirty_value)
+    for group, values in by_group.items():
+        assert len(values) == 1, f"group {group} got mixed replacements {values}"
+
+
+def test_duplicate_storm_appends_rows(base: Table) -> None:
+    outcome = DuplicateStormModel(rate=0.5, near_typo_rate=0.0).apply(base, _rng())
+    added = outcome.table.num_rows - base.num_rows
+    assert added == 4
+    assert outcome.duplicated_rows == list(range(base.num_rows, base.num_rows + added))
+    for duplicate, source in zip(outcome.duplicated_rows, outcome.duplicate_sources):
+        assert outcome.table.row(duplicate) == base.row(source)
+
+
+def test_adversarial_values_come_from_the_pool(base: Table) -> None:
+    outcome = AdversarialValueModel(rate=1.0, columns=["ratio"]).apply(base, _rng())
+    assert outcome.cell_edits
+    assert {e.dirty_value for e in outcome.cell_edits} <= set(DEFAULT_ADVERSARIAL_TOKENS)
+
+
+def test_keyword_columns_rename_only(base: Table) -> None:
+    outcome = KeywordColumnModel(rate=0.5).apply(base, _rng())
+    assert outcome.cell_edits == []
+    assert outcome.renamed_columns
+    for original, renamed in outcome.renamed_columns.items():
+        assert renamed in DEFAULT_KEYWORD_POOL
+        assert outcome.table.column(renamed).values == base.column(original).values
+
+
+def test_null_spike_tokens_and_real_nulls(base: Table) -> None:
+    tokens = NullSpikeModel(rate=1.0, columns=["dep"]).apply(base, _rng())
+    assert {e.dirty_value for e in tokens.cell_edits} <= {"N/A", "null", "--", "unknown"}
+    nulls = NullSpikeModel(rate=1.0, columns=["dep"], as_null=True).apply(base, _rng())
+    assert all(e.dirty_value is None for e in nulls.cell_edits)
+
+
+def test_missing_column_fails_loudly(base: Table) -> None:
+    with pytest.raises(ScenarioError, match="nope"):
+        TypoModel(rate=0.2, columns=["nope"]).apply(base, _rng())
+
+
+def test_rate_validation() -> None:
+    with pytest.raises(ScenarioError, match="rate"):
+        TypoModel(rate=1.5)
+
+
+def test_model_dict_round_trip() -> None:
+    for name, model_type in MODEL_TYPES.items():
+        if name == "fd_violations":
+            model = model_type(determinant="code", dependent="dep")
+        else:
+            model = model_type()
+        restored = model_from_dict(model.to_dict())
+        assert restored == model, name
+
+
+def test_model_from_dict_rejects_unknowns() -> None:
+    with pytest.raises(ScenarioError, match="unknown"):
+        model_from_dict({"model": "not-a-model"})
+    with pytest.raises(ScenarioError):
+        model_from_dict({"model": "typos", "bogus_param": 1})

@@ -1,0 +1,83 @@
+"""Traffic-replay harness tests.
+
+The HTTP drift replay is the PR's acceptance criterion: a scenario with
+mid-stream drift, driven through a booted gateway as a mixed batch/stream
+workload, must provably exercise the stream re-plan path (via ``repro.obs``
+span names) while the cumulative stream output stays byte-identical to the
+whole-table batch pipeline.  Full-catalogue HTTP replays are ``slow``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import get_tracer
+from repro.scenarios import (
+    builtin_specs,
+    get_scenario,
+    replay_http,
+    replay_inprocess,
+    replay_scenario,
+)
+from repro.scenarios.models import ScenarioError
+from repro.scenarios.replay import REPLAN_SPAN
+
+
+def test_http_replay_of_drift_scenario_replans_and_keeps_parity() -> None:
+    report = replay_http(get_scenario("drift-mid-stream"))
+    assert report.replans == 1
+    assert REPLAN_SPAN in report.span_names
+    assert report.stream_parity is True
+    assert report.job_parity is True
+    assert report.batch_parity is True
+    assert report.batches == 5 and report.rows_streamed == 50
+
+
+def test_http_replay_of_stationary_scenario_never_replans() -> None:
+    report = replay_http(get_scenario("stationary-baseline"))
+    assert report.replans == 0
+    assert REPLAN_SPAN not in report.span_names
+    assert report.stream_parity is True and report.job_parity is True
+    assert report.batch_parity is True
+
+
+def test_http_replay_restores_the_tracer_switch() -> None:
+    tracer = get_tracer()
+    before = tracer.enabled
+    try:
+        tracer.enabled = False
+        replay_http(get_scenario("stationary-baseline"))
+        assert tracer.enabled is False
+    finally:
+        tracer.enabled = before
+
+
+def test_inprocess_report_is_serialisable_and_complete() -> None:
+    report = replay_inprocess(get_scenario("drift-mid-stream"))
+    doc = report.to_dict()
+    assert doc["scenario"] == "drift-mid-stream"
+    assert doc["mode"] == "inprocess"
+    assert doc["replans"] == 1
+    assert REPLAN_SPAN in doc["span_names"]
+    assert doc["batch_parity"] is True
+
+
+def test_unknown_mode_is_rejected() -> None:
+    with pytest.raises(ScenarioError, match="mode"):
+        replay_scenario(get_scenario("typo-storm"), mode="quantum")
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", sorted(builtin_specs()))
+def test_full_catalogue_replays_inprocess(name: str) -> None:
+    report = replay_inprocess(get_scenario(name))
+    assert report.batches >= 1
+    assert report.rows_streamed > 0
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", sorted(builtin_specs()))
+def test_full_catalogue_replays_over_http(name: str) -> None:
+    report = replay_http(get_scenario(name))
+    assert report.stream_parity is True
+    assert report.job_parity is True

@@ -1,0 +1,78 @@
+"""``python -m repro.scenarios`` CLI behaviour and exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.scenarios.cli import main
+
+
+def test_list_prints_the_catalogue(capsys) -> None:
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "drift-mid-stream" in out and "typo-storm" in out
+
+
+def test_generate_writes_artifacts(tmp_path, capsys) -> None:
+    assert main(["generate", "typo-storm", "--out", str(tmp_path)]) == 0
+    target = tmp_path / "typo-storm"
+    for artifact in ("spec.json", "dirty.csv", "clean.csv", "diff.json"):
+        assert (target / artifact).exists(), artifact
+    diff = json.loads((target / "diff.json").read_text())
+    assert diff and {"row", "column", "clean", "dirty"} <= set(diff[0])
+
+
+def test_generate_round_trips_an_external_spec_file(tmp_path, capsys) -> None:
+    assert main(["generate", "typo-storm", "--out", str(tmp_path)]) == 0
+    capsys.readouterr()
+    spec_path = tmp_path / "typo-storm" / "spec.json"
+    assert main(["generate", "--spec", str(spec_path), "--json"]) == 0
+    summaries = json.loads(capsys.readouterr().out)
+    assert len(summaries) == 1 and summaries[0]["scenario"] == "typo-storm"
+
+
+def test_golden_check_passes(capsys) -> None:
+    assert main(["--golden"]) == 0
+    assert "passed" in capsys.readouterr().out
+
+
+def test_golden_refresh_is_idempotent(tmp_path, capsys) -> None:
+    path = tmp_path / "golden.json"
+    assert main(["--golden", "--refresh", "--golden-path", str(path)]) == 0
+    first = path.read_text()
+    assert main(["--golden", "--golden-path", str(path)]) == 0
+    assert main(["--golden", "--refresh", "--golden-path", str(path)]) == 0
+    assert path.read_text() == first
+
+
+def test_golden_detects_drift(tmp_path, capsys) -> None:
+    path = tmp_path / "golden.json"
+    assert main(["--golden", "--refresh", "--golden-path", str(path)]) == 0
+    doc = json.loads(path.read_text())
+    doc["cells"]["typo-storm"]["cells_corrupted"] += 1
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    assert main(["--golden", "--golden-path", str(path)]) == 1
+    assert "drift" in capsys.readouterr().out
+
+
+def test_replay_inprocess_exit_codes(capsys) -> None:
+    assert main(["replay", "drift-mid-stream", "stationary-baseline"]) == 0
+    out = capsys.readouterr().out
+    assert "ok drift-mid-stream" in out and "1 replans" in out
+
+
+def test_unknown_scenario_is_exit_2(capsys) -> None:
+    assert main(["generate", "not-a-scenario"]) == 2
+    assert "valid scenarios" in capsys.readouterr().err
+
+
+def test_bad_flag_combinations_are_parser_errors() -> None:
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--refresh"])
+    assert excinfo.value.code == 2
+    with pytest.raises(SystemExit):
+        main(["list", "--golden"])
+    with pytest.raises(SystemExit):
+        main([])

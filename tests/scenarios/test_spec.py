@@ -1,0 +1,117 @@
+"""Scenario spec validation, JSON round-trip, and generation bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import (
+    ScenarioError,
+    ScenarioPhase,
+    ScenarioSpec,
+    TrafficSpec,
+    TypoModel,
+    generate,
+    get_scenario,
+    scenario_names,
+)
+from repro.scenarios.models import NullSpikeModel, SchemaEvolutionModel
+
+
+def _spec(**overrides) -> ScenarioSpec:
+    base = dict(
+        name="round-trip",
+        base_dataset="hospital",
+        seed=3,
+        scale=0.05,
+        models=[TypoModel(rate=0.1, columns=["City"], min_length=3)],
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+def test_json_round_trip_regenerates_identical_tables() -> None:
+    spec = _spec()
+    restored = ScenarioSpec.from_json(spec.to_json())
+    assert restored == spec
+    first, second = generate(spec), generate(restored)
+    assert first.dataset.dirty == second.dataset.dirty
+    assert first.dataset.clean == second.dataset.clean
+    assert first.cell_diff == second.cell_diff
+
+
+def test_phased_spec_round_trip() -> None:
+    spec = _spec(
+        models=[],
+        phases=[
+            ScenarioPhase(rows=20, models=[]),
+            ScenarioPhase(rows=None, models=[NullSpikeModel(rate=0.3, columns=["City"])]),
+        ],
+        traffic=TrafficSpec(batch_rows=8, prime_rows=20),
+        expect_drift=False,
+    )
+    restored = ScenarioSpec.from_json(spec.to_json())
+    assert restored == spec
+    assert generate(spec).dataset.dirty == generate(restored).dataset.dirty
+
+
+def test_validation_rejects_bad_specs() -> None:
+    with pytest.raises(ScenarioError):
+        _spec(name="")
+    with pytest.raises(ScenarioError):
+        _spec(scale=0.0)
+    with pytest.raises(ScenarioError):
+        _spec(cleaning_issues=["not_an_issue"])
+    with pytest.raises(ScenarioError):  # open-ended phase must come last
+        _spec(models=[], phases=[ScenarioPhase(rows=None, models=[]),
+                                 ScenarioPhase(rows=10, models=[])])
+    with pytest.raises(ScenarioError):  # phases overflowing the table
+        generate(_spec(models=[], phases=[ScenarioPhase(rows=10_000, models=[])]))
+
+
+def test_unknown_base_dataset_fails_loudly() -> None:
+    with pytest.raises(ScenarioError):
+        generate(_spec(base_dataset="not-a-dataset"))
+
+
+def test_prime_rows_defaults_to_first_phase_boundary() -> None:
+    spec = _spec(
+        models=[],
+        phases=[ScenarioPhase(rows=30, models=[]),
+                ScenarioPhase(rows=None, models=[])],
+        traffic=TrafficSpec(batch_rows=10),
+    )
+    generated = generate(spec)
+    assert generated.prime_rows == 30
+    # batches never straddle a phase boundary
+    sizes = [batch.num_rows for batch in generated.batches()]
+    assert sum(sizes) == generated.dataset.dirty.num_rows
+    assert sum(sizes[:3]) == 30
+
+
+def test_table_name_is_sql_friendly() -> None:
+    assert _spec(name="drift-mid-stream").table_name == "drift_mid_stream"
+
+
+def test_catalog_covers_every_model_family() -> None:
+    names = scenario_names()
+    assert len(names) >= 8
+    seen = set()
+    for name in names:
+        spec = get_scenario(name)
+        for model in spec.models:
+            seen.add(model.name)
+        for phase in spec.phases:
+            for model in phase.models:
+                seen.add(model.name)
+    assert {"typos", "unit_drift", "schema_evolution", "locale_mix", "fd_violations",
+            "duplicate_storm", "adversarial_values", "keyword_columns",
+            "null_spike"} <= seen
+
+
+def test_drift_pair_shares_traffic_shape() -> None:
+    drift = get_scenario("drift-mid-stream")
+    baseline = get_scenario("stationary-baseline")
+    assert drift.traffic == baseline.traffic
+    assert drift.columns == baseline.columns
+    assert drift.expect_drift and not baseline.expect_drift
+    assert isinstance(drift.phases[1].models[0], SchemaEvolutionModel)
