@@ -1,0 +1,143 @@
+"""Dialect benchmark: emitted cleaning script on sqlite3 vs the in-process engine.
+
+The reuse story the paper sells — "the output is a SQL script you can re-run
+on new data without the LLM" — now extends to a second engine.  This
+benchmark prices that portability: a cleaning plan is primed once on a small
+dirty sample, then the *same plan* is replayed over a much larger resampled
+table two ways:
+
+* **baseline** — ``plan.emit(ReproDialect())`` executed by the in-process
+  SQL engine (:class:`repro.sql.database.Database`);
+* **optimised** — ``plan.emit(SqliteDialect())`` executed by stdlib
+  ``sqlite3`` (a C engine), loaded via ``executemany`` + ``executescript``.
+
+Timing covers load + script execution + result fetch for both paths, i.e.
+the full cost of re-cleaning a fresh batch.  Parity is checked with the same
+cell-by-cell comparison the differential suite uses, so a speedup never
+hides a semantics drift.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_dialect.py               # full, 10k rows
+    PYTHONPATH=src python benchmarks/bench_dialect.py --smoke       # seconds, CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+import benchlib
+
+from repro.core import CocoonCleaner
+from repro.core.context import ROW_ID_COLUMN
+from repro.core.dialects import ReproDialect, SqliteDialect
+from repro.core.plan import extract_plan
+from repro.datasets import load_dataset
+from repro.sql.differential import (
+    DifferentialResult,
+    compare_tables,
+    run_plan_in_process,
+    run_plan_sqlite,
+)
+from repro.dataframe.column import Column
+from repro.dataframe.schema import ColumnType
+from repro.dataframe.table import Table
+
+# (dataset, prime_scale, replay_rows)
+FULL_CASES = [
+    ("hospital", 0.05, 10_000),
+    ("beers", 0.05, 10_000),
+]
+SMOKE_CASES = [
+    ("hospital", 0.05, 2_000),
+]
+
+
+def build_case(dataset: str, prime_scale: float, replay_rows: int):
+    """Prime a plan on a small sample; build a big resampled table to replay on."""
+    ds = load_dataset(dataset, seed=0, scale=prime_scale)
+    plan = extract_plan(CocoonCleaner().clean(ds.dirty))
+
+    source_rows = list(zip(*(c.values for c in ds.dirty.columns)))
+    big_rows = [list(source_rows[i % len(source_rows)]) for i in range(replay_rows)]
+    ids = Column(ROW_ID_COLUMN, [i for i in range(replay_rows)], dtype=ColumnType.INTEGER)
+    big = Table(
+        plan.base_table,
+        [ids]
+        + [
+            Column(c.name, [row[j] for row in big_rows], dtype=c.dtype)
+            for j, c in enumerate(ds.dirty.columns)
+        ],
+    )
+    return plan, big
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny cases for CI")
+    parser.add_argument("--out", default="BENCH_dialect.json")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args()
+
+    cases = SMOKE_CASES if args.smoke else FULL_CASES
+    results = []
+    for dataset, prime_scale, replay_rows in cases:
+        plan, big = build_case(dataset, prime_scale, replay_rows)
+
+        reference = run_plan_in_process(plan, big)
+        sqlite_rows = run_plan_sqlite(plan, big)
+        check = DifferentialResult(name=dataset, kind="bench", rows=big.num_rows,
+                                   columns=big.num_columns, steps=len(plan.steps))
+        compare_tables(reference, sqlite_rows, check)
+
+        baseline_seconds = benchlib.measure(
+            lambda: run_plan_in_process(plan, big), args.repeats
+        )
+        optimised_seconds = benchlib.measure(
+            lambda: run_plan_sqlite(plan, big), args.repeats
+        )
+        results.append(
+            benchlib.case_result(
+                f"{dataset}-{replay_rows}rows",
+                {
+                    "dataset": dataset,
+                    "prime_scale": prime_scale,
+                    "replay_rows": replay_rows,
+                    "plan_steps": len(plan.steps),
+                },
+                baseline_seconds=baseline_seconds,
+                optimised_seconds=optimised_seconds,
+                output_rows=reference.num_rows,
+                parity=check.ok,
+            )
+        )
+
+    report = benchlib.write_report(
+        args.out,
+        "dialect",
+        {
+            "mode": "smoke" if args.smoke else "full",
+            "description": (
+                "replaying an LLM-free cleaning plan on fresh data: "
+                "plan.emit(ReproDialect()) on the in-process engine vs "
+                "plan.emit(SqliteDialect()) on stdlib sqlite3, parity-checked "
+                "cell-by-cell"
+            ),
+        },
+        results,
+    )
+    benchlib.print_cases(report)
+    failures = [c for c in report["cases"] if not c.get("parity", True)]
+    if failures:
+        print(f"PARITY FAILURE in {[c['name'] for c in failures]}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

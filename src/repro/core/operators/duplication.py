@@ -15,7 +15,7 @@ from repro.core.context import ROW_ID_COLUMN, CleaningContext
 from repro.core.hil import HumanInTheLoop
 from repro.core.operators.base import CleaningOperator
 from repro.core.result import OperatorResult
-from repro.core.sqlgen import comment_block, quote_identifier
+from repro.core.sqlgen import keep_first_statement
 from repro.llm import prompts
 
 
@@ -60,19 +60,16 @@ class DuplicationOperator(CleaningOperator):
             return [result]
 
         data_columns = context.data_columns()
-        partition = ", ".join(quote_identifier(c) for c in data_columns)
         target_table = context.next_table_name("dedup")
-        comments = comment_block(
-            [
+        sql = keep_first_statement(
+            context.current_table_name,
+            target_table,
+            data_columns,
+            ROW_ID_COLUMN,
+            comments=[
                 f"Duplication cleaning: remove {duplicate_rows} duplicated rows (keep the first occurrence).",
                 f"Reasoning: {finding.llm_reasoning}",
-            ]
-        )
-        sql = (
-            f"{comments}\n"
-            f"CREATE OR REPLACE TABLE {quote_identifier(target_table)} AS\n"
-            f"SELECT *\nFROM {quote_identifier(context.current_table_name)}\n"
-            f"QUALIFY ROW_NUMBER() OVER (PARTITION BY {partition} ORDER BY {ROW_ID_COLUMN}) = 1"
+            ],
         )
         decision = hil.review_cleaning(finding, {}, sql)
         if not decision.approved:

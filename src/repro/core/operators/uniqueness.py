@@ -15,7 +15,7 @@ from repro.core.context import ROW_ID_COLUMN, CleaningContext
 from repro.core.hil import HumanInTheLoop
 from repro.core.operators.base import CleaningOperator
 from repro.core.result import OperatorResult
-from repro.core.sqlgen import comment_block, quote_identifier
+from repro.core.sqlgen import keep_first_statement, quote_identifier
 from repro.llm import prompts
 
 
@@ -70,17 +70,15 @@ class ColumnUniquenessOperator(CleaningOperator):
 
         order_by = f"{quote_identifier(order_column)} DESC" if order_column else ROW_ID_COLUMN
         target_table = context.next_table_name(f"unique_{column_name}")
-        comments = comment_block(
-            [
+        sql = keep_first_statement(
+            context.current_table_name,
+            target_table,
+            [column_name],
+            order_by,
+            comments=[
                 f"Column uniqueness cleaning: {column_name} should be unique.",
                 f"Reasoning: {finding.llm_reasoning}",
-            ]
-        )
-        sql = (
-            f"{comments}\n"
-            f"CREATE OR REPLACE TABLE {quote_identifier(target_table)} AS\n"
-            f"SELECT *\nFROM {quote_identifier(context.current_table_name)}\n"
-            f"QUALIFY ROW_NUMBER() OVER (PARTITION BY {quote_identifier(column_name)} ORDER BY {order_by}) = 1"
+            ],
         )
         decision = hil.review_cleaning(finding, {}, sql)
         if not decision.approved:

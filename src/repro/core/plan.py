@@ -34,13 +34,17 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.core.context import ROW_ID_COLUMN
+from repro.core.dialects import DEFAULT_DIALECT, Dialect
 from repro.core.result import CleaningResult
 from repro.core.sqlgen import (
     case_when_mapping,
     case_when_null,
     case_when_threshold,
     cast_expression,
+    comment_block,
     conditional_update_expression,
+    keep_first_statement,
+    quote_identifier,
     select_with_replacements,
 )
 from repro.dataframe.table import Table
@@ -71,29 +75,34 @@ class PlanStep:
     def row_local(self) -> bool:
         return self.kind in ROW_LOCAL_KINDS
 
-    def replacement_expression(self) -> str:
+    def replacement_expression(self, dialect: Optional[Dialect] = None) -> str:
         """Rebuild the SQL expression this step rewrites its column with.
 
         Uses the same :mod:`repro.core.sqlgen` builders the operator used, fed
         from the recorded payload, so a regenerated statement is semantically
         identical to the original one — but free to read from / write to any
-        table, which is what lets replay re-chain steps after a partial
-        re-plan swapped some of them out.
+        table (and to render for any dialect), which is what lets replay
+        re-chain steps after a partial re-plan swapped some of them out.
         """
         payload = self.payload
         if self.kind == "value_map":
-            return case_when_mapping(payload["column"], payload["mapping"])
+            return case_when_mapping(payload["column"], payload["mapping"], dialect=dialect)
         if self.kind == "null_values":
-            return case_when_null(payload["column"], payload["values"])
+            return case_when_null(payload["column"], payload["values"], dialect=dialect)
         if self.kind == "cast":
             return cast_expression(
-                payload["column"], payload["target_type"], payload.get("mapping") or None
+                payload["column"],
+                payload["target_type"],
+                payload.get("mapping") or None,
+                dialect=dialect,
             )
         if self.kind == "range":
-            return case_when_threshold(payload["column"], payload.get("low"), payload.get("high"))
+            return case_when_threshold(
+                payload["column"], payload.get("low"), payload.get("high"), dialect=dialect
+            )
         if self.kind == "fd_map":
             return conditional_update_expression(
-                payload["dependent"], payload["determinant"], payload["mapping"]
+                payload["dependent"], payload["determinant"], payload["mapping"], dialect=dialect
             )
         raise PlanExtractionError(f"Step kind {self.kind!r} has no row-local expression")
 
@@ -104,15 +113,64 @@ class PlanStep:
             return str(self.payload["dependent"])
         return str(self.payload["column"])
 
-    def build_sql(self, source_table: str, target_table: str, columns: List[str]) -> str:
+    def build_sql(
+        self,
+        source_table: str,
+        target_table: str,
+        columns: List[str],
+        dialect: Optional[Dialect] = None,
+    ) -> str:
         """Regenerate this row-local step as a statement reading ``source_table``."""
         return select_with_replacements(
             source_table,
             target_table,
             [ROW_ID_COLUMN] + list(columns),
-            {self.rewritten_column: self.replacement_expression()},
+            {self.rewritten_column: self.replacement_expression(dialect)},
             comments=[f"Replayed {self.issue_type} step for {self.target}."],
+            dialect=dialect,
         )
+
+    def table_level_sql(
+        self,
+        source_table: str,
+        target_table: str,
+        columns: List[str],
+        dialect: Optional[Dialect] = None,
+    ) -> str:
+        """Regenerate a dedup/unique step as a keep-first statement.
+
+        ``columns`` is the full output column list *including* the hidden
+        row-id column — dialects without QUALIFY need it to project their
+        ROW_NUMBER helper away.
+        """
+        dialect = dialect or DEFAULT_DIALECT
+        if self.kind == "dedup":
+            return keep_first_statement(
+                source_table,
+                target_table,
+                list(self.payload["columns"]),
+                ROW_ID_COLUMN,
+                comments=[f"Replayed {self.issue_type} step for {self.target}."],
+                columns=columns,
+                dialect=dialect,
+            )
+        if self.kind == "unique":
+            order_column = self.payload.get("order_column")
+            order_sql = (
+                f"{quote_identifier(order_column, dialect=dialect)} DESC"
+                if order_column
+                else ROW_ID_COLUMN
+            )
+            return keep_first_statement(
+                source_table,
+                target_table,
+                [self.payload["column"]],
+                order_sql,
+                comments=[f"Replayed {self.issue_type} step for {self.target}."],
+                columns=columns,
+                dialect=dialect,
+            )
+        raise PlanExtractionError(f"Step kind {self.kind!r} is not table-level")
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -216,6 +274,46 @@ class CleaningPlan:
             db.sql(step.build_sql(current, target, self.column_names))
             current = target
         return db.table(current)
+
+    # -- emission -------------------------------------------------------------------
+    def final_table(self) -> str:
+        """The table the emitted script leaves the cleaned rows in."""
+        return self.steps[-1].target_table if self.steps else self.base_table
+
+    def emit(self, dialect: Optional[Dialect] = None) -> str:
+        """Render the whole plan as one SQL script for ``dialect``.
+
+        The script reads ``base_table`` (which must carry the hidden row-id
+        column plus the plan's data columns) and chains every step through
+        the operator-recorded ``target_table`` names, so the cleaned result
+        lands in :meth:`final_table` — the same table name the in-process
+        pipeline produced.  With the default dialect the statements match the
+        in-process replay chain; with e.g.
+        :class:`~repro.core.dialects.SqliteDialect` the same decisions run
+        on an external engine, cleaning data that never becomes a ``Table``.
+        """
+        dialect = dialect or DEFAULT_DIALECT
+        all_columns = [ROW_ID_COLUMN] + list(self.column_names)
+        header = comment_block(
+            [
+                f"Cocoon cleaning plan for {self.base_table} "
+                f"({len(self.steps)} steps, {dialect.name} dialect).",
+                "Replays recorded LLM decisions; no model calls are needed to re-run it.",
+            ]
+        )
+        statements = []
+        current = self.base_table
+        for step in self.steps:
+            if step.row_local:
+                statements.append(step.build_sql(current, step.target_table, self.column_names, dialect=dialect))
+            else:
+                statements.append(step.table_level_sql(current, step.target_table, all_columns, dialect=dialect))
+            current = step.target_table
+        if not statements:
+            return header
+        # The header rides on the first statement: a standalone comment-only
+        # chunk between ``;`` separators would not survive statement splitting.
+        return header + "\n" + ";\n\n".join(statements) + ";\n"
 
     # -- serialisation ---------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:

@@ -4,41 +4,35 @@ The paper stresses that Cocoon's output is a set of *well-commented SQL
 queries*: scalable (pushed down to the database), interpretable (the LLM
 reasoning is preserved as comments) and reusable (the script re-runs on new
 data).  These helpers build those statements.
+
+Every builder takes an optional :class:`~repro.core.dialects.Dialect`; the
+default (:class:`~repro.core.dialects.ReproDialect`) renders exactly what
+these helpers always rendered, and passing
+:class:`~repro.core.dialects.SqliteDialect` re-targets the same cleaning
+decision at stdlib ``sqlite3`` — see ``docs/dialects.md``.
 """
 
 from __future__ import annotations
 
+import math
 import textwrap
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Iterable, List, Mapping, Optional, Sequence
 
-from repro.sql.tokenizer import KEYWORDS
+from repro.core.dialects import DEFAULT_DIALECT, Dialect
 
 
-def quote_identifier(name: str) -> str:
-    """Double-quote an identifier unless it is a plain lowercase non-keyword word.
+def quote_identifier(name: str, dialect: Optional[Dialect] = None) -> str:
+    """Quote an identifier per the dialect's rules (see Dialect.quote_identifier)."""
+    return (dialect or DEFAULT_DIALECT).quote_identifier(name)
 
-    Column names that collide with SQL keywords (``select``, ``order``,
-    ``group``, ``from``, …) must be quoted in any case spelling: the tokenizer
-    keywordises words case-insensitively, so leaving them bare would make the
-    generated cleaning script fail to re-parse on exactly the tables the paper
-    promises it re-runs on.
+
+def quote_literal(value: object, dialect: Optional[Dialect] = None) -> str:
+    """Render a Python value as a SQL literal.
+
+    Non-finite floats never render bare (``nan``/``inf`` would not re-parse
+    on any engine): NaN becomes ``NULL``, ±inf the strings ``'inf'``/``'-inf'``.
     """
-    if name.isidentifier() and name == name.lower() and name.upper() not in KEYWORDS:
-        return name
-    escaped = name.replace('"', '""')
-    return f'"{escaped}"'
-
-
-def quote_literal(value: object) -> str:
-    """Render a Python value as a SQL literal."""
-    if value is None:
-        return "NULL"
-    if isinstance(value, bool):
-        return "TRUE" if value else "FALSE"
-    if isinstance(value, (int, float)):
-        return str(value)
-    escaped = str(value).replace("'", "''")
-    return f"'{escaped}'"
+    return (dialect or DEFAULT_DIALECT).quote_literal(value)
 
 
 def comment_block(lines: Iterable[str], width: int = 96) -> str:
@@ -50,51 +44,81 @@ def comment_block(lines: Iterable[str], width: int = 96) -> str:
     return "\n".join(out)
 
 
-def case_when_mapping(column: str, mapping: Mapping[str, Optional[str]], else_null_for: Sequence[str] = ()) -> str:
+def case_when_mapping(
+    column: str,
+    mapping: Mapping[str, Optional[str]],
+    else_null_for: Sequence[str] = (),
+    dialect: Optional[Dialect] = None,
+) -> str:
     """``CASE column WHEN 'old' THEN 'new' ... ELSE column END`` for a value mapping.
 
     Values mapped to the empty string become NULL (the paper's convention for
     "meaningless" values).
     """
-    col = quote_identifier(column)
+    dialect = dialect or DEFAULT_DIALECT
+    col = dialect.quote_identifier(column)
+    subject = dialect.case_subject(col)
     branches = []
     for old, new in mapping.items():
         if new is None or new == "":
-            branches.append(f"        WHEN {quote_literal(old)} THEN NULL")
+            branches.append(f"        WHEN {dialect.quote_literal(old)} THEN NULL")
         else:
-            branches.append(f"        WHEN {quote_literal(old)} THEN {quote_literal(new)}")
+            branches.append(
+                f"        WHEN {dialect.quote_literal(old)} THEN {dialect.quote_literal(new)}"
+            )
     for old in else_null_for:
-        branches.append(f"        WHEN {quote_literal(old)} THEN NULL")
+        branches.append(f"        WHEN {dialect.quote_literal(old)} THEN NULL")
     body = "\n".join(branches)
-    return f"CASE {col}\n{body}\n        ELSE {col}\n    END"
+    return f"CASE {subject}\n{body}\n        ELSE {col}\n    END"
 
 
-def case_when_null(column: str, null_values: Sequence[str]) -> str:
+def case_when_null(
+    column: str, null_values: Sequence[str], dialect: Optional[Dialect] = None
+) -> str:
     """``CASE WHEN column IN (...) THEN NULL ELSE column END`` for DMV cleaning."""
-    col = quote_identifier(column)
-    literals = ", ".join(quote_literal(v) for v in null_values)
-    return f"CASE WHEN {col} IN ({literals}) THEN NULL ELSE {col} END"
-
-
-def case_when_threshold(column: str, low: Optional[float], high: Optional[float]) -> str:
-    """``CASE WHEN column < low OR column > high THEN NULL ELSE column END``."""
-    col = quote_identifier(column)
-    conditions = []
-    if low is not None:
-        conditions.append(f"{col} < {low}")
-    if high is not None:
-        conditions.append(f"{col} > {high}")
-    condition = " OR ".join(conditions) if conditions else "FALSE"
+    dialect = dialect or DEFAULT_DIALECT
+    col = dialect.quote_identifier(column)
+    condition = dialect.in_token_condition(col, null_values)
     return f"CASE WHEN {condition} THEN NULL ELSE {col} END"
 
 
-def cast_expression(column: str, target_type: str, value_mapping: Optional[Mapping[str, str]] = None) -> str:
+def case_when_threshold(
+    column: str,
+    low: Optional[float],
+    high: Optional[float],
+    dialect: Optional[Dialect] = None,
+) -> str:
+    """``CASE WHEN column < low OR column > high THEN NULL ELSE column END``.
+
+    Non-finite bounds are dropped (they were previously interpolated as bare
+    ``nan``/``inf`` and produced unparseable SQL); with both bounds dropped
+    the condition degrades to ``FALSE`` and the CASE passes everything
+    through, exactly like the no-bounds call always did.
+    """
+    dialect = dialect or DEFAULT_DIALECT
+    col = dialect.quote_identifier(column)
+    bounds = []
+    if low is not None and math.isfinite(low):
+        bounds.append(("<", low))
+    if high is not None and math.isfinite(high):
+        bounds.append((">", high))
+    condition = dialect.threshold_condition(col, bounds)
+    return f"CASE WHEN {condition} THEN NULL ELSE {col} END"
+
+
+def cast_expression(
+    column: str,
+    target_type: str,
+    value_mapping: Optional[Mapping[str, str]] = None,
+    dialect: Optional[Dialect] = None,
+) -> str:
     """``CAST(column AS type)``, optionally preceded by a value-normalising CASE."""
-    col = quote_identifier(column)
+    dialect = dialect or DEFAULT_DIALECT
+    col = dialect.quote_identifier(column)
     inner = col
     if value_mapping:
-        inner = case_when_mapping(column, dict(value_mapping))
-    return f"CAST({inner} AS {target_type})"
+        inner = case_when_mapping(column, dict(value_mapping), dialect=dialect)
+    return dialect.cast_expression(inner, target_type)
 
 
 def select_with_replacements(
@@ -105,15 +129,17 @@ def select_with_replacements(
     comments: Sequence[str] = (),
     where: Optional[str] = None,
     qualify: Optional[str] = None,
+    dialect: Optional[Dialect] = None,
 ) -> str:
     """Build ``CREATE OR REPLACE TABLE target AS SELECT ...`` replacing some columns.
 
     ``replacements`` maps a column name to the SQL expression that produces its
     cleaned value; all other columns are passed through unchanged.
     """
+    dialect = dialect or DEFAULT_DIALECT
     select_items = []
     for column in columns:
-        col = quote_identifier(column)
+        col = dialect.quote_identifier(column)
         if column in replacements:
             select_items.append(f"    {replacements[column]} AS {col}")
         else:
@@ -121,25 +147,61 @@ def select_with_replacements(
     select_list = ",\n".join(select_items)
     header = comment_block(comments) + "\n" if comments else ""
     statement = (
-        f"{header}CREATE OR REPLACE TABLE {quote_identifier(target_table)} AS\n"
-        f"SELECT\n{select_list}\nFROM {quote_identifier(source_table)}"
+        f"{header}{dialect.create_table_prelude(target_table)}\n"
+        f"SELECT\n{select_list}\nFROM {dialect.quote_identifier(source_table)}"
     )
     if where:
         statement += f"\nWHERE {where}"
     if qualify:
+        if not dialect.supports_qualify:
+            raise ValueError(
+                f"Dialect {dialect.name!r} has no QUALIFY; build keep-first "
+                "statements with keep_first_statement() so it can be lowered"
+            )
         statement += f"\nQUALIFY {qualify}"
     return statement
+
+
+def keep_first_statement(
+    source_table: str,
+    target_table: str,
+    partition_columns: Sequence[str],
+    order_sql: str,
+    comments: Sequence[str] = (),
+    columns: Optional[Sequence[str]] = None,
+    dialect: Optional[Dialect] = None,
+) -> str:
+    """One row per partition, keeping the first under ``order_sql``.
+
+    This is the shared shape behind duplication and uniqueness cleaning.  On
+    engines with QUALIFY it renders the historical single-statement form; on
+    others the dialect lowers it to a ROW_NUMBER subquery, which needs the
+    explicit output ``columns`` to project the helper column away.
+    """
+    dialect = dialect or DEFAULT_DIALECT
+    header = comment_block(comments) if comments else ""
+    return dialect.keep_first_statement(
+        source_table,
+        target_table,
+        partition_columns,
+        order_sql,
+        header=header,
+        columns=columns,
+    )
 
 
 def conditional_update_expression(
     target_column: str,
     key_column: str,
     key_to_value: Mapping[str, str],
+    dialect: Optional[Dialect] = None,
 ) -> str:
     """``CASE key_column WHEN 'k' THEN 'v' ... ELSE target END`` for FD repairs."""
-    key = quote_identifier(key_column)
-    target = quote_identifier(target_column)
+    dialect = dialect or DEFAULT_DIALECT
+    key = dialect.case_subject(dialect.quote_identifier(key_column))
+    target = dialect.quote_identifier(target_column)
     branches = "\n".join(
-        f"        WHEN {quote_literal(k)} THEN {quote_literal(v)}" for k, v in key_to_value.items()
+        f"        WHEN {dialect.quote_literal(k)} THEN {dialect.quote_literal(v)}"
+        for k, v in key_to_value.items()
     )
     return f"CASE {key}\n{branches}\n        ELSE {target}\n    END"

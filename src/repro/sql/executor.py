@@ -61,8 +61,16 @@ from repro.sql.ast_nodes import (
 )
 from repro.obs import span as obs_span
 from repro.sql.catalog import Catalog
+from repro.sql.comparison import compare_values, numeric_pair, sql_equal
 from repro.sql.errors import ExecutionError
 from repro.sql.functions import AGGREGATE_NAMES, call_scalar, make_aggregate
+
+# Comparison semantics live in repro.sql.comparison so the aggregates in
+# repro.sql.functions can share them without importing this module; the old
+# private names stay importable here for existing callers and tests.
+_numeric_pair = numeric_pair
+_sql_equal = sql_equal
+_compare = compare_values
 
 Row = Dict[str, Any]
 
@@ -447,9 +455,9 @@ class Executor:
             agg = make_aggregate(expr.name, distinct=expr.distinct, count_star=count_star, separator=separator)
             for row in group_rows:
                 if count_star:
-                    agg.add(1)
+                    agg.add_checked(1)
                 else:
-                    agg.add(self._eval(expr.args[0], row))
+                    agg.add_checked(self._eval(expr.args[0], row))
             return agg.result()
         if isinstance(expr, BinaryOp):
             return _apply_binary(
@@ -533,9 +541,9 @@ class Executor:
                 agg = make_aggregate(name, count_star=(len(node.args) == 1 and isinstance(node.args[0], Star)) or not node.args)
                 for i in ordered:
                     if node.args and not isinstance(node.args[0], Star):
-                        agg.add(self._eval(node.args[0], rows[i]))
+                        agg.add_checked(self._eval(node.args[0], rows[i]))
                     else:
-                        agg.add(1)
+                        agg.add_checked(1)
                 total = agg.result()
                 for i in ordered:
                     result[i] = total
@@ -930,83 +938,6 @@ def _sort_key(value: Any, descending: bool) -> Tuple:
     if descending:
         key = "".join(chr(0x10FFFF - ord(c)) for c in key)
     return (0, key)
-
-
-def _numeric_pair(left: Any, right: Any) -> Optional[Tuple[float, float]]:
-    """Return both operands as floats when a numeric comparison makes sense.
-
-    When exactly one side is a number and the other is a numeric-looking
-    string, the string is implicitly cast — matching the behaviour of the SQL
-    engines the paper targets.
-    """
-    def to_num(v: Any) -> Optional[float]:
-        if isinstance(v, bool):
-            return float(v)
-        if isinstance(v, (int, float)):
-            return float(v)
-        return None
-
-    def parse_num(v: Any) -> Optional[float]:
-        # Python's float() accepts 'nan'/'inf'/'Infinity', but SQL numeric
-        # literals don't — treating those strings as numbers made
-        # 'nan' >= 5 true (NaN probes all compare False, see _compare).
-        try:
-            parsed = float(str(v).strip())
-        except (TypeError, ValueError):
-            return None
-        return parsed if math.isfinite(parsed) else None
-
-    a, b = to_num(left), to_num(right)
-    if a is not None and b is not None:
-        return a, b
-    if a is not None and b is None:
-        parsed = parse_num(right)
-        if parsed is not None:
-            return a, parsed
-    if b is not None and a is None:
-        parsed = parse_num(left)
-        if parsed is not None:
-            return parsed, b
-    return None
-
-
-def _sql_equal(left: Any, right: Any) -> bool:
-    pair = _numeric_pair(left, right)
-    if pair is not None:
-        return pair[0] == pair[1]
-    return str(left) == str(right)
-
-
-def _compare(left: Any, right: Any) -> Optional[int]:
-    """Deterministic total order: -1/0/1, with NaN after every other value.
-
-    NaN operands would otherwise fail all three probes below and read as
-    "equal to everything", collapsing ``>=``/``<=`` and ORDER BY into
-    nonsense.  NULL-semantics normally filter NaN out before it gets here,
-    but direct float NaN (or a non-finite arithmetic result) must still get
-    a trichotomous answer.
-    """
-    pair = _numeric_pair(left, right)
-    if pair is not None:
-        a, b = pair
-    else:
-        try:
-            a, b = left, right
-            if a < b or a > b or a == b:
-                pass
-        except TypeError:
-            a, b = str(left), str(right)
-    a_nan = isinstance(a, float) and math.isnan(a)
-    b_nan = isinstance(b, float) and math.isnan(b)
-    if a_nan or b_nan:
-        if a_nan and b_nan:
-            return 0
-        return 1 if a_nan else -1
-    if a < b:
-        return -1
-    if a > b:
-        return 1
-    return 0
 
 
 def _like_to_regex(pattern: str, escape: Optional[str] = None) -> str:

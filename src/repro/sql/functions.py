@@ -8,9 +8,11 @@ from __future__ import annotations
 
 import math
 import re
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from decimal import ROUND_HALF_UP, Decimal, InvalidOperation
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.dataframe.schema import is_null
+from repro.sql.comparison import compare_values
 from repro.sql.errors import ExecutionError
 
 
@@ -43,8 +45,34 @@ def _substr(value: Any, start: int, length: Optional[int] = None) -> str:
 
 
 def _round(value: Any, digits: int = 0) -> float:
-    result = round(float(value), int(digits))
-    return result
+    # SQL engines (sqlite, DuckDB, Postgres) round halves away from zero;
+    # Python's round() uses banker's rounding, so ROUND(2.5) diverged (2 vs 3).
+    # Decimal(str(x)) keeps the decimal digits the user sees, not the binary
+    # float expansion.
+    number = float(value)
+    if not math.isfinite(number):
+        return number
+    quantum = Decimal(1).scaleb(-int(digits))
+    try:
+        return float(Decimal(str(number)).quantize(quantum, rounding=ROUND_HALF_UP))
+    except InvalidOperation as exc:
+        raise ValueError(f"cannot round {value!r} to {digits} digits") from exc
+
+
+def _pad(value: Any, n: Any, pad: Any, left: bool) -> str:
+    """LPAD/RPAD with standard cycle-and-truncate semantics (sqlite/Postgres):
+    the pad string repeats as a whole and the result is truncated to exactly
+    ``n`` characters; an empty pad can only shorten, never extend."""
+    text = _to_str(value)
+    length = int(n)
+    if length <= len(text):
+        return text[:max(length, 0)]
+    fill = _to_str(pad)
+    if not fill:
+        return text
+    need = length - len(text)
+    filler = (fill * (need // len(fill) + 1))[:need]
+    return filler + text if left else text + filler
 
 
 def _regexp_matches(value: Any, pattern: str) -> bool:
@@ -126,8 +154,8 @@ SCALAR_FUNCTIONS: Dict[str, Callable[..., Any]] = {
     "IFNULL": _ifnull,
     "NVL": _ifnull,
     "REVERSE": _null_safe(lambda v: _to_str(v)[::-1]),
-    "LPAD": _null_safe(lambda v, n, p=" ": _to_str(v).rjust(int(n), _to_str(p)[0])),
-    "RPAD": _null_safe(lambda v, n, p=" ": _to_str(v).ljust(int(n), _to_str(p)[0])),
+    "LPAD": _null_safe(lambda v, n, p=" ": _pad(v, n, p, left=True)),
+    "RPAD": _null_safe(lambda v, n, p=" ": _pad(v, n, p, left=False)),
     "LEFT": _null_safe(lambda v, n: _to_str(v)[: int(n)]),
     "RIGHT": _null_safe(lambda v, n: _to_str(v)[-int(n):] if int(n) > 0 else ""),
     "CONTAINS": _null_safe(lambda v, s: _to_str(s) in _to_str(v)),
@@ -151,11 +179,51 @@ def call_scalar(name: str, args: Sequence[Any]) -> Any:
 # --------------------------------------------------------------------------
 # Aggregate functions
 # --------------------------------------------------------------------------
+def _numeric_addend(name: str, value: Any) -> Union[int, float]:
+    """The one numeric-coercion rule for SUM/AVG/STDDEV inputs.
+
+    Previously SUM('3') raised a bare TypeError while AVG('3') silently
+    coerced via float() — the same column summed and averaged under two
+    different type systems.  Now both accept bools (as 0/1), ints and floats
+    as-is (so SUM over ints stays an int), coerce numeric-looking *finite*
+    strings, and reject everything else with :class:`ExecutionError`.
+    Non-finite strings ('nan', 'inf') are text, matching comparison rules.
+    """
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        return value
+    try:
+        parsed = float(str(value).strip())
+    except (TypeError, ValueError):
+        raise ExecutionError(f"{name} requires numeric input, got {value!r}") from None
+    if not math.isfinite(parsed):
+        raise ExecutionError(f"{name} requires numeric input, got {value!r}")
+    return parsed
+
+
 class Aggregate:
     """Incremental aggregate accumulator."""
 
+    #: Display name for error messages; set by :func:`make_aggregate`.
+    name: str = "AGGREGATE"
+
     def add(self, value: Any) -> None:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def add_checked(self, value: Any) -> None:
+        """``add`` with errors wrapped in :class:`ExecutionError`.
+
+        Scalar calls were already wrapped by :func:`call_scalar`, but a bad
+        aggregate input used to escape as a raw TypeError; executors should
+        accumulate through this entry point.
+        """
+        try:
+            self.add(value)
+        except ExecutionError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise ExecutionError(f"Error accumulating {self.name}({value!r}): {exc}") from exc
 
     def result(self) -> Any:  # pragma: no cover - interface
         raise NotImplementedError
@@ -190,7 +258,7 @@ class SumAgg(Aggregate):
     def add(self, value: Any) -> None:
         if is_null(value):
             return
-        self.total = (self.total or 0) + value
+        self.total = (self.total or 0) + _numeric_addend(self.name, value)
 
     def result(self) -> Optional[float]:
         return self.total
@@ -204,7 +272,7 @@ class AvgAgg(Aggregate):
     def add(self, value: Any) -> None:
         if is_null(value):
             return
-        self.total += float(value)
+        self.total += float(_numeric_addend(self.name, value))
         self.count += 1
 
     def result(self) -> Optional[float]:
@@ -212,28 +280,40 @@ class AvgAgg(Aggregate):
 
 
 class MinAgg(Aggregate):
+    """MIN under the engine's total order (:func:`compare_values`).
+
+    Raw ``<`` raised TypeError on mixed str/int columns and disagreed with
+    ORDER BY's numeric/string coercion over the same values.
+    """
+
     def __init__(self) -> None:
         self.value: Any = None
+        self.empty = True
 
     def add(self, value: Any) -> None:
         if is_null(value):
             return
-        if self.value is None or value < self.value:
+        if self.empty or compare_values(value, self.value) < 0:
             self.value = value
+            self.empty = False
 
     def result(self) -> Any:
         return self.value
 
 
 class MaxAgg(Aggregate):
+    """MAX under the engine's total order — see :class:`MinAgg`."""
+
     def __init__(self) -> None:
         self.value: Any = None
+        self.empty = True
 
     def add(self, value: Any) -> None:
         if is_null(value):
             return
-        if self.value is None or value > self.value:
+        if self.empty or compare_values(value, self.value) > 0:
             self.value = value
+            self.empty = False
 
     def result(self) -> Any:
         return self.value
@@ -246,7 +326,7 @@ class StddevAgg(Aggregate):
     def add(self, value: Any) -> None:
         if is_null(value):
             return
-        self.values.append(float(value))
+        self.values.append(float(_numeric_addend(self.name, value)))
 
     def result(self) -> Optional[float]:
         n = len(self.values)
@@ -277,18 +357,22 @@ WINDOW_NAMES = {"ROW_NUMBER", "RANK", "DENSE_RANK", "COUNT", "SUM", "MIN", "MAX"
 
 def make_aggregate(name: str, distinct: bool = False, count_star: bool = False, separator: str = ",") -> Aggregate:
     upper = name.upper()
+    agg: Optional[Aggregate] = None
     if upper == "COUNT":
-        return CountAgg(distinct=distinct, count_star=count_star)
-    if upper == "SUM":
-        return SumAgg()
-    if upper == "AVG":
-        return AvgAgg()
-    if upper == "MIN":
-        return MinAgg()
-    if upper == "MAX":
-        return MaxAgg()
-    if upper in ("STDDEV", "STDDEV_SAMP"):
-        return StddevAgg()
-    if upper in ("STRING_AGG", "GROUP_CONCAT"):
-        return StringAgg(separator)
-    raise ExecutionError(f"Unknown aggregate function: {name}")
+        agg = CountAgg(distinct=distinct, count_star=count_star)
+    elif upper == "SUM":
+        agg = SumAgg()
+    elif upper == "AVG":
+        agg = AvgAgg()
+    elif upper == "MIN":
+        agg = MinAgg()
+    elif upper == "MAX":
+        agg = MaxAgg()
+    elif upper in ("STDDEV", "STDDEV_SAMP"):
+        agg = StddevAgg()
+    elif upper in ("STRING_AGG", "GROUP_CONCAT"):
+        agg = StringAgg(separator)
+    if agg is None:
+        raise ExecutionError(f"Unknown aggregate function: {name}")
+    agg.name = upper
+    return agg

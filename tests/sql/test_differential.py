@@ -1,0 +1,60 @@
+"""Tier-1 gate: every emitted sqlite script agrees with the in-process run.
+
+Each registry dataset and each golden scenario is cleaned once, its plan is
+emitted twice — ``ReproDialect`` (replayed through the in-process executor)
+and ``SqliteDialect`` (run through stdlib ``sqlite3``) — and every cell of
+the final tables must agree under ``strict_differs``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.datasets.registry import dataset_names
+from repro.scenarios.catalog import builtin_specs
+from repro.sql.differential import run_dataset, run_scenario
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def assert_clean(result):
+    detail = "\n".join(
+        f"  row={m.row_id} col={m.column}: in_process={m.in_process!r} "
+        f"sqlite={m.sqlite!r} ({m.note})"
+        for m in result.mismatches[:10]
+    )
+    assert result.ok, (
+        f"{result.kind} {result.name}: {len(result.mismatches)} cell mismatches "
+        f"across {result.cells_compared} cells\n{detail}"
+    )
+    assert result.cells_compared > 0
+
+
+@pytest.mark.parametrize("name", dataset_names())
+def test_dataset_differential(name):
+    assert_clean(run_dataset(name, seed=0, scale=0.05))
+
+
+@pytest.mark.parametrize("name", sorted(builtin_specs()))
+def test_scenario_differential(name):
+    assert_clean(run_scenario(name))
+
+
+def test_cli_reports_success():
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.sql.differential",
+         "--datasets", "beers", "--scenarios", "--json"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(proc.stdout)
+    assert [r["name"] for r in payload["results"]] == ["beers"]
+    assert all(r["ok"] and r["mismatches"] == [] for r in payload["results"])

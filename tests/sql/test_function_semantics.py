@@ -1,0 +1,173 @@
+"""Regression tests for the semantics holes the differential suite exposed.
+
+Each test class pins one bug that existed before this change: MIN/MAX raising
+TypeError on mixed types, aggregates leaking raw TypeErrors, SUM and AVG
+disagreeing on numeric coercion, ROUND using banker's rounding, and
+LPAD/RPAD mishandling empty or multi-character pads.
+"""
+
+import pytest
+
+from repro.dataframe.table import Table
+from repro.sql.comparison import compare_values, numeric_pair, sql_equal
+from repro.sql.database import Database
+from repro.sql.errors import ExecutionError
+from repro.sql.functions import SCALAR_FUNCTIONS, make_aggregate
+
+
+def scalar(db, sql):
+    return db.scalar(sql)
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.register(
+        Table.from_rows(
+            "mixed",
+            ["v", "s"],
+            [[3, "10"], ["12", "x"], [None, "2.5"], [1.5, "7"]],
+        ),
+        replace=True,
+    )
+    return database
+
+
+class TestMinMaxMixedTypes:
+    """MIN/MAX used raw < / > and raised TypeError on str-vs-int columns."""
+
+    def test_min_over_mixed_column(self, db):
+        # Numeric-looking strings compare numerically: min(3, '12', 1.5) == 1.5
+        assert scalar(db, "SELECT MIN(v) FROM mixed") == 1.5
+
+    def test_max_over_mixed_column(self, db):
+        assert scalar(db, "SELECT MAX(v) FROM mixed") == "12"
+
+    def test_all_text_column_compares_lexically(self, db):
+        # No numeric operand on either side → plain string comparison.
+        assert scalar(db, "SELECT MAX(s) FROM mixed") == "x"
+        assert scalar(db, "SELECT MIN(s) FROM mixed") == "10"
+
+    def test_compare_values_total_order(self):
+        assert compare_values(3, "12") < 0
+        assert compare_values("abc", 999) > 0  # text falls back to str vs str
+        assert compare_values("abc", "abd") < 0
+        assert compare_values(2, 2.0) == 0
+        # NaN sorts after every real value, including +inf.
+        assert compare_values(float("nan"), float("inf")) > 0
+        assert compare_values(float("nan"), 1e300) > 0
+        assert compare_values(float("nan"), float("nan")) == 0
+
+
+class TestAggregateErrorWrapping:
+    """Aggregate accumulation errors must surface as ExecutionError, not TypeError."""
+
+    def test_sum_of_text_raises_execution_error(self, db):
+        with pytest.raises(ExecutionError, match=r"SUM requires numeric input, got 'x'"):
+            scalar(db, "SELECT SUM(s) FROM mixed")
+
+    def test_avg_of_text_raises_execution_error(self, db):
+        with pytest.raises(ExecutionError, match="AVG requires numeric input"):
+            scalar(db, "SELECT AVG(s) FROM mixed")
+
+    def test_add_checked_wraps_stray_type_errors(self):
+        # Defensive path: any TypeError/ValueError escaping an accumulator is
+        # re-raised as ExecutionError naming the aggregate and the value.
+        from repro.sql.functions import Aggregate
+
+        class Boom(Aggregate):
+            name = "BOOM"
+
+            def add(self, value):
+                raise TypeError("no")
+
+        with pytest.raises(ExecutionError, match=r"Error accumulating BOOM\(1\): no"):
+            Boom().add_checked(1)
+
+
+class TestSumAvgCoercionUnified:
+    """SUM and AVG previously coerced differently; both now share one helper."""
+
+    def test_sum_accepts_numeric_strings(self, db):
+        assert scalar(db, "SELECT SUM(v) FROM mixed") == 16.5
+
+    def test_avg_agrees_with_sum_over_count(self, db):
+        assert scalar(db, "SELECT AVG(v) FROM mixed") == pytest.approx(16.5 / 3)
+
+    def test_sum_of_ints_stays_int(self, db):
+        db.register(Table.from_rows("ints", ["n"], [[1], [2], [3]]), replace=True)
+        total = scalar(db, "SELECT SUM(n) FROM ints")
+        assert total == 6 and isinstance(total, int)
+
+    def test_sum_of_bools_counts(self, db):
+        db.register(Table.from_rows("flags", ["b"], [[True], [False], [True]]), replace=True)
+        assert scalar(db, "SELECT SUM(b) FROM flags") == 2
+
+    def test_make_aggregate_names(self):
+        agg = make_aggregate("SUM")
+        assert agg.name == "SUM"
+        with pytest.raises(ExecutionError, match="SUM requires numeric input"):
+            agg.add_checked("oops")
+
+
+class TestRoundHalfAwayFromZero:
+    """ROUND followed Python banker's rounding; SQL rounds half away from zero."""
+
+    def test_positive_half(self):
+        assert SCALAR_FUNCTIONS["ROUND"](2.5) == 3
+        assert SCALAR_FUNCTIONS["ROUND"](0.5) == 1
+
+    def test_negative_half(self):
+        assert SCALAR_FUNCTIONS["ROUND"](-2.5) == -3
+
+    def test_digits(self):
+        assert SCALAR_FUNCTIONS["ROUND"](2.345, 2) == 2.35
+        assert SCALAR_FUNCTIONS["ROUND"](1.005, 2) == 1.01
+
+    def test_nan_is_null(self):
+        # NaN is NULL everywhere in the engine; _null_safe short-circuits it.
+        assert SCALAR_FUNCTIONS["ROUND"](float("nan")) is None
+        assert SCALAR_FUNCTIONS["ROUND"](float("inf"), 2) == float("inf")
+
+    def test_through_executor(self, db):
+        assert scalar(db, "SELECT ROUND(2.5) FROM mixed LIMIT 1") == 3
+
+
+class TestPadFunctions:
+    """LPAD/RPAD: empty pad raised IndexError, multi-char pads used only char 0,
+    and over-long inputs were never truncated."""
+
+    def test_empty_pad_returns_text(self):
+        assert SCALAR_FUNCTIONS["LPAD"]("ab", 5, "") == "ab"
+        assert SCALAR_FUNCTIONS["RPAD"]("ab", 5, "") == "ab"
+
+    def test_multi_char_pad_cycles(self):
+        assert SCALAR_FUNCTIONS["LPAD"]("7", 6, "xy") == "xyxyx7"
+        assert SCALAR_FUNCTIONS["RPAD"]("7", 6, "xy") == "7xyxyx"
+
+    def test_truncates_when_longer_than_target(self):
+        assert SCALAR_FUNCTIONS["LPAD"]("abcdef", 3, "0") == "abc"
+        assert SCALAR_FUNCTIONS["RPAD"]("abcdef", 3, "0") == "abc"
+
+    def test_zero_and_negative_length(self):
+        assert SCALAR_FUNCTIONS["LPAD"]("abc", 0, "0") == ""
+        assert SCALAR_FUNCTIONS["LPAD"]("abc", -2, "0") == ""
+
+    def test_default_space_pad(self, db):
+        assert scalar(db, "SELECT LPAD('7', 3) FROM mixed LIMIT 1") == "  7"
+
+    def test_null_passthrough(self, db):
+        assert scalar(db, "SELECT LPAD(NULL, 3, '0') FROM mixed LIMIT 1") is None
+
+
+class TestComparisonHelpers:
+    def test_numeric_pair_rejects_nan_strings(self):
+        # 'nan'/'inf' strings must compare as text, not poison numeric paths.
+        assert numeric_pair("nan", 1) is None
+        assert numeric_pair("inf", 1) is None
+        assert numeric_pair("2.5", 1) == (2.5, 1.0)
+
+    def test_sql_equal_numeric_text(self):
+        assert sql_equal("2.50", 2.5)
+        assert not sql_equal("abc", 0)
+        assert sql_equal(True, 1)
