@@ -3,12 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.dataframe.table import Table
 from repro.llm.base import LLMClient
 from repro.profiling.table_profile import TableProfile, profile_table
 from repro.sql.database import Database
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.lineage import LineageRecorder
 
 ROW_ID_COLUMN = "_cocoon_row_id"
 
@@ -52,11 +55,15 @@ class CleaningContext:
         llm: LLMClient,
         base_table: str,
         config: Optional[CleaningConfig] = None,
+        lineage: Optional["LineageRecorder"] = None,
     ):
         self.db = db
         self.llm = llm
         self.base_table = base_table
         self.config = config or CleaningConfig()
+        # Optional cell-level audit trail (repro.obs.lineage); operators record
+        # every strict cell change into it when present.
+        self.lineage = lineage
         self.current_table_name = base_table
         self._step = 0
         self._profile_cache: Dict[str, TableProfile] = {}

@@ -19,7 +19,9 @@ from repro.core.result import CellRepair, DetectionFinding, OperatorResult
 from repro.dataframe.schema import is_null
 from repro.dataframe.table import Table
 from repro.llm.parsing import ResponseParseError, extract_json, parse_mapping_yaml
+from repro.obs import current_ref as obs_current_ref
 from repro.obs import span as obs_span
+from repro.obs.lineage import lineage_step_id, values_strictly_differ
 from repro.sql.errors import SQLError
 
 
@@ -75,18 +77,79 @@ class CleaningOperator(abc.ABC):
         target_table: str,
         issue_type: str,
         reason: str,
+        decision: Optional[Dict[str, Any]] = None,
+        target: str = "",
     ) -> Tuple[List[CellRepair], List[int]]:
         """Execute a cleaning statement and diff old vs new table into repairs.
 
         Row identity is carried by the hidden row-id column, so repairs survive
         row reordering and row removal (deduplication).
+
+        ``decision`` is the operator's replay payload (the same dict the result
+        records as ``replay``); when the context carries a
+        :class:`~repro.obs.lineage.LineageRecorder` every *strict* cell change
+        and every removed row is recorded against it, tagged with the plan-step
+        id derived from the decision and the LLM calls that produced it.
         """
         before = context.current_table()
         context.db.sql(sql)
         after = context.db.table(target_table)
         repairs, removed = diff_tables(before, after, issue_type=issue_type, reason=reason)
+        lineage = getattr(context, "lineage", None)
+        if lineage is not None and decision is not None:
+            self._record_lineage(
+                context, before, after, removed, decision, issue_type, target, target_table
+            )
         context.advance(target_table, sql)
         return repairs, removed
+
+    def _record_lineage(
+        self,
+        context: CleaningContext,
+        before: Table,
+        after: Table,
+        removed: List[int],
+        decision: Dict[str, Any],
+        issue_type: str,
+        target: str,
+        target_table: str,
+    ) -> None:
+        """Record this step's strict cell diff + removals into the context recorder."""
+        payload = {k: v for k, v in decision.items() if k not in ("kind", "target_table")}
+        kind = str(decision.get("kind", ""))
+        step_id = lineage_step_id(kind, issue_type, target, target_table, payload)
+        span_ref = obs_current_ref()
+        # The last ``_llm_calls`` history entries are exactly this target's
+        # calls (take_llm_calls resets the counter after every target).
+        history = context.llm.history
+        llm_info = (
+            [
+                {"cache_key": rec.cache_key, "hit": rec.cache_hit, "purpose": rec.purpose}
+                for rec in history[len(history) - self._llm_calls :]
+            ]
+            if self._llm_calls
+            else []
+        )
+        context.lineage.record_step_edits(
+            strict_table_edits(before, after),
+            operator=issue_type,
+            target=target,
+            kind=kind,
+            step_id=step_id,
+            decision=payload,
+            llm=llm_info,
+            span_ref=span_ref,
+        )
+        for row_id in removed:
+            context.lineage.record_removal(
+                row_id,
+                operator=issue_type,
+                target=target,
+                kind=kind,
+                step_id=step_id,
+                mode="dropped",
+                span_ref=span_ref,
+            )
 
     # -- misc helpers ----------------------------------------------------------------------
     @staticmethod
@@ -149,6 +212,38 @@ def diff_tables(
                     )
                 )
     return repairs, removed
+
+
+def strict_table_edits(before: Table, after: Table) -> List[Tuple[int, str, Any, Any]]:
+    """Strict cell diff between two table versions, keyed by the row-id column.
+
+    Unlike :func:`diff_tables` (which uses the canonical-text repair predicate)
+    this uses :func:`~repro.obs.lineage.values_strictly_differ` — the same
+    predicate as ``repro.datasets.base.strict_differs`` — because the lineage
+    contract promises to explain *every* surface change, including pure
+    representation changes such as a cast turning ``'12'`` into ``12.0``.
+    Rows absent from ``after`` are skipped (they are recorded as removals).
+    """
+    after_index: Dict[Any, int] = {}
+    for i, row_id in enumerate(after.column(ROW_ID_COLUMN).values):
+        after_index[row_id] = i
+    shared_columns = [
+        c for c in after.column_names if c != ROW_ID_COLUMN and c in before.column_names
+    ]
+    before_ids = before.column(ROW_ID_COLUMN).values
+    before_cols = {c: before.column(c).values for c in shared_columns}
+    after_cols = {c: after.column(c).values for c in shared_columns}
+    edits: List[Tuple[int, str, Any, Any]] = []
+    for i, row_id in enumerate(before_ids):
+        j = after_index.get(row_id)
+        if j is None:
+            continue
+        for column in shared_columns:
+            old = before_cols[column][i]
+            new = after_cols[column][j]
+            if values_strictly_differ(old, new):
+                edits.append((int(row_id), column, old, new))
+    return edits
 
 
 def _cell_changed(old: Any, new: Any) -> bool:

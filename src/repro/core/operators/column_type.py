@@ -90,16 +90,20 @@ class ColumnTypeOperator(CleaningOperator):
             result.skipped_reason = "cleaning rejected by reviewer"
             result.llm_calls = self.take_llm_calls()
             return result
-        repairs, removed = self.apply_sql(context, sql, target_table, self.issue_type, finding.llm_summary)
-        result.repairs = repairs
-        result.removed_row_ids = removed
-        result.sql = sql
-        result.replay = {
+        replay = {
             "kind": "cast",
             "target_table": target_table,
             "column": column_name,
             "target_type": suggested,
             "mapping": dict(value_mapping) if isinstance(value_mapping, dict) else {},
         }
+        repairs, removed = self.apply_sql(
+            context, sql, target_table, self.issue_type, finding.llm_summary,
+            decision=replay, target=column_name,
+        )
+        result.repairs = repairs
+        result.removed_row_ids = removed
+        result.sql = sql
+        result.replay = replay
         result.llm_calls = self.take_llm_calls()
         return result

@@ -83,15 +83,19 @@ class DisguisedMissingValueOperator(CleaningOperator):
             result.skipped_reason = "cleaning rejected by reviewer"
             result.llm_calls = self.take_llm_calls()
             return result
-        repairs, removed = self.apply_sql(context, sql, target_table, self.issue_type, finding.llm_summary)
-        result.repairs = repairs
-        result.removed_row_ids = removed
-        result.sql = sql
-        result.replay = {
+        replay = {
             "kind": "null_values",
             "target_table": target_table,
             "column": column_name,
             "values": list(dmvs),
         }
+        repairs, removed = self.apply_sql(
+            context, sql, target_table, self.issue_type, finding.llm_summary,
+            decision=replay, target=column_name,
+        )
+        result.repairs = repairs
+        result.removed_row_ids = removed
+        result.sql = sql
+        result.replay = replay
         result.llm_calls = self.take_llm_calls()
         return result

@@ -76,14 +76,18 @@ class DuplicationOperator(CleaningOperator):
             result.skipped_reason = "cleaning rejected by reviewer"
             result.llm_calls = self.take_llm_calls()
             return [result]
-        repairs, removed = self.apply_sql(context, sql, target_table, self.issue_type, finding.llm_summary)
-        result.repairs = repairs
-        result.removed_row_ids = removed
-        result.sql = sql
-        result.replay = {
+        replay = {
             "kind": "dedup",
             "target_table": target_table,
             "columns": list(data_columns),
         }
+        repairs, removed = self.apply_sql(
+            context, sql, target_table, self.issue_type, finding.llm_summary,
+            decision=replay, target=context.base_table,
+        )
+        result.repairs = repairs
+        result.removed_row_ids = removed
+        result.sql = sql
+        result.replay = replay
         result.llm_calls = self.take_llm_calls()
         return [result]

@@ -85,16 +85,20 @@ class NumericOutlierOperator(CleaningOperator):
             result.skipped_reason = "cleaning rejected by reviewer"
             result.llm_calls = self.take_llm_calls()
             return result
-        repairs, removed = self.apply_sql(context, sql, target_table, self.issue_type, finding.llm_summary)
-        result.repairs = repairs
-        result.removed_row_ids = removed
-        result.sql = sql
-        result.replay = {
+        replay = {
             "kind": "range",
             "target_table": target_table,
             "column": column_name,
             "low": low,
             "high": high,
         }
+        repairs, removed = self.apply_sql(
+            context, sql, target_table, self.issue_type, finding.llm_summary,
+            decision=replay, target=column_name,
+        )
+        result.repairs = repairs
+        result.removed_row_ids = removed
+        result.sql = sql
+        result.replay = replay
         result.llm_calls = self.take_llm_calls()
         return result

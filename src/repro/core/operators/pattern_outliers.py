@@ -141,16 +141,20 @@ class PatternOutlierOperator(CleaningOperator):
             result.skipped_reason = "cleaning rejected by reviewer"
             result.llm_calls = self.take_llm_calls()
             return result
-        repairs, removed = self.apply_sql(context, sql, target_table, self.issue_type, finding.llm_summary)
-        result.repairs = repairs
-        result.removed_row_ids = removed
-        result.sql = sql
-        result.replay = {
+        replay = {
             "kind": "value_map",
             "target_table": target_table,
             "column": column_name,
             "mapping": dict(mapping),
             "standard_pattern": standard_pattern,
         }
+        repairs, removed = self.apply_sql(
+            context, sql, target_table, self.issue_type, finding.llm_summary,
+            decision=replay, target=column_name,
+        )
+        result.repairs = repairs
+        result.removed_row_ids = removed
+        result.sql = sql
+        result.replay = replay
         result.llm_calls = self.take_llm_calls()
         return result

@@ -18,6 +18,7 @@ from repro.dataframe.table import Table
 from repro.llm.base import LLMClient
 from repro.llm.simulated import SimulatedSemanticLLM
 from repro.obs import span as obs_span
+from repro.obs.lineage import LineageRecorder
 from repro.sql.database import Database
 
 
@@ -86,7 +87,10 @@ class CocoonCleaner:
         base_name = self._base_name_for(table.name or "dataset")
         working = self._with_row_ids(table, base_name)
         self.database.register(working, replace=True)
-        context = CleaningContext(self.database, self.llm, base_name, config=self.config)
+        lineage = LineageRecorder(phase="batch")
+        context = CleaningContext(
+            self.database, self.llm, base_name, config=self.config, lineage=lineage
+        )
 
         llm_calls_before = self.llm.call_count
         with obs_span(
@@ -105,6 +109,7 @@ class CocoonCleaner:
             sql_script=self._render_script(base_name, context.sql_statements),
             llm_calls=self.llm.call_count - llm_calls_before,
             base_table=base_name,
+            lineage=lineage,
         )
         return result
 

@@ -48,6 +48,8 @@ from repro.core.sqlgen import (
     select_with_replacements,
 )
 from repro.dataframe.table import Table
+from repro.obs import current_ref as obs_current_ref
+from repro.obs.lineage import LineageRecorder, lineage_step_id, values_strictly_differ
 from repro.sql.database import Database
 
 #: Step kinds whose effect is a pure per-row function.
@@ -74,6 +76,19 @@ class PlanStep:
     @property
     def row_local(self) -> bool:
         return self.kind in ROW_LOCAL_KINDS
+
+    @property
+    def step_id(self) -> str:
+        """Stable lineage id of this decision.
+
+        Computed from the same fields :meth:`repro.core.operators.base.CleaningOperator.apply_sql`
+        hashes when it records the batch application, so lineage records from
+        the original run and from every replay of this step carry bit-identical
+        step ids.
+        """
+        return lineage_step_id(
+            self.kind, self.issue_type, self.target, self.target_table, self.payload
+        )
 
     def replacement_expression(self, dialect: Optional[Dialect] = None) -> str:
         """Rebuild the SQL expression this step rewrites its column with.
@@ -250,7 +265,12 @@ class CleaningPlan:
         return known
 
     # -- replay -------------------------------------------------------------------
-    def replay_row_local(self, batch_with_ids: Table, database: Optional[Database] = None) -> Table:
+    def replay_row_local(
+        self,
+        batch_with_ids: Table,
+        database: Optional[Database] = None,
+        lineage: Optional[LineageRecorder] = None,
+    ) -> Table:
         """Run the row-local prefix on a batch, returning the rewritten rows.
 
         ``batch_with_ids`` must carry the hidden row-id column and the plan's
@@ -259,6 +279,10 @@ class CleaningPlan:
         SELECT`` reading its predecessor's output.  Every step is a pure
         per-row function, so running the chain on any subset of rows yields
         exactly those rows of the whole-table chain.
+
+        When ``lineage`` is given, every strict cell change each step makes is
+        recorded against it with the step's :attr:`PlanStep.step_id` — the same
+        id the batch run recorded — and an empty LLM list (replay spends none).
         """
         expected = [ROW_ID_COLUMN] + list(self.column_names)
         if batch_with_ids.column_names != expected:
@@ -272,8 +296,44 @@ class CleaningPlan:
         for index, step in enumerate(self.row_local_steps, start=1):
             target = f"{base}_step{index}"
             db.sql(step.build_sql(current, target, self.column_names))
+            if lineage is not None:
+                self._record_replay_step(db, current, target, step, lineage)
             current = target
         return db.table(current)
+
+    @staticmethod
+    def _record_replay_step(
+        db: Database, source: str, target: str, step: PlanStep, lineage: LineageRecorder
+    ) -> None:
+        """Diff one replayed step's rewritten column into lineage records.
+
+        A row-local step only touches :attr:`PlanStep.rewritten_column` and the
+        regenerated SELECT preserves row order, so a positional scan of that
+        one column is the complete diff.
+        """
+        before = db.table(source)
+        after = db.table(target)
+        column = step.rewritten_column
+        row_ids = before.column(ROW_ID_COLUMN).values
+        before_values = before.column(column).values
+        after_values = after.column(column).values
+        span_ref = obs_current_ref()
+        edits = [
+            (int(row_ids[i]), column, before_values[i], after_values[i])
+            for i in range(len(row_ids))
+            if values_strictly_differ(before_values[i], after_values[i])
+        ]
+        if edits:
+            lineage.record_step_edits(
+                edits,
+                operator=step.issue_type,
+                target=step.target,
+                kind=step.kind,
+                step_id=step.step_id,
+                decision=dict(step.payload),
+                llm=[],
+                span_ref=span_ref,
+            )
 
     # -- emission -------------------------------------------------------------------
     def final_table(self) -> str:

@@ -71,6 +71,10 @@ class CleaningResult:
     # Name the table was registered under in the cleaning database; the
     # recorded SQL references it, so plan replay needs it (repro.core.plan).
     base_table: str = ""
+    # Cell-level audit trail of the run (repro.obs.lineage.LineageRecorder):
+    # one record per strictly-changed cell and per removed row, each tagged
+    # with operator, plan-step id, decision payload and LLM provenance.
+    lineage: Optional[Any] = None
 
     @property
     def repairs(self) -> List[CellRepair]:

@@ -14,7 +14,6 @@ feedback, and benchmark repetitions.  Two layers live here:
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import tempfile
@@ -22,32 +21,15 @@ import threading
 from pathlib import Path
 from typing import Dict, Optional, Union
 
-from repro.llm.base import LLMClient
+from repro.llm.base import LLMClient, prompt_cache_key
 from repro.obs import record_cache
 
-
-def prompt_cache_key(prompt: str, system: Optional[str] = None, namespace: str = "") -> str:
-    """Stable cache key for a (prompt, system) pair.
-
-    ``namespace`` partitions one shared store into independent key spaces.
-    The experiment matrix namespaces its shared cache per repair unit
-    (dataset/seed/scale/system): the simulated LLM is *stateful* within one
-    cleaning run (detection prompts record value counts that later cleaning
-    prompts consult), so a coincidentally identical prompt from a different
-    run may legitimately deserve a different response — an un-namespaced
-    cross-run hit would make results depend on execution order.  An empty
-    namespace (the default) produces the same keys as before namespacing
-    existed.
-    """
-    digest = hashlib.sha256()
-    if namespace:
-        digest.update(namespace.encode("utf-8"))
-        digest.update(b"\0\0")
-    digest.update(prompt.encode("utf-8"))
-    if system:
-        digest.update(b"\0")
-        digest.update(system.encode("utf-8"))
-    return digest.hexdigest()
+__all__ = [
+    "CachingLLMClient",
+    "PromptCacheStore",
+    "cached_client",
+    "prompt_cache_key",  # canonical home is repro.llm.base; re-exported for compat
+]
 
 
 class PromptCacheStore:
@@ -210,6 +192,7 @@ class CachingLLMClient(LLMClient):
     def _complete(self, prompt: str, system: Optional[str] = None) -> str:
         key = self._key(prompt, system)
         cached = self.store.get(key)
+        self._note_cache_result(cached is not None)
         if cached is not None:
             return cached
         # The inner call happens outside the store lock so concurrent misses on

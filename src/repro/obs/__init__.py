@@ -35,12 +35,22 @@ from repro.obs.metrics import (
     percentile,
     prometheus_gauges_from,
 )
+from repro.obs.lineage import (
+    LineageRecorder,
+    LineageSchemaError,
+    lineage_step_id,
+    validate_lineage_lines,
+    validate_lineage_record,
+    values_strictly_differ,
+)
 from repro.obs.trace import NOOP_SPAN, Span, SpanRef, Tracer, get_tracer
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LineageRecorder",
+    "LineageSchemaError",
     "MetricsRegistry",
     "NOOP_SPAN",
     "PROMETHEUS_CONTENT_TYPE",
@@ -52,12 +62,16 @@ __all__ = [
     "current_span",
     "get_registry",
     "get_tracer",
+    "lineage_step_id",
     "percentile",
     "prometheus_gauges_from",
     "record_cache",
     "record_llm_call",
     "span",
     "tracing_enabled",
+    "validate_lineage_lines",
+    "validate_lineage_record",
+    "values_strictly_differ",
 ]
 
 

@@ -1,4 +1,4 @@
-"""``python -m repro.obs`` — summarise a JSON-lines trace file.
+"""``python -m repro.obs`` — summarise trace and lineage JSON-lines files.
 
 Usage::
 
@@ -7,9 +7,16 @@ Usage::
     python -m repro.obs trace.jsonl --flame      # per-trace flame summaries
     python -m repro.obs trace.jsonl --validate   # schema check only
 
+    python -m repro.obs lineage lineage.jsonl                 # summary + census
+    python -m repro.obs lineage lineage.jsonl --explain 17    # one row's chain
+    python -m repro.obs lineage lineage.jsonl --explain 17 --column city
+    python -m repro.obs lineage lineage.jsonl --validate      # schema check only
+
 Trace files are produced by configuring the tracer with an export path
 (``repro.obs.configure(enabled=True, export_path=...)`` or the server's
 ``--trace-export`` flag); every finished top-level span tree is one line.
+Lineage files come from :meth:`LineageRecorder.export_jsonl` or by saving
+the ``records`` array of ``GET /v1/jobs/{id}/lineage`` one object per line.
 """
 
 from __future__ import annotations
@@ -17,8 +24,13 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
+from repro.obs.lineage import (
+    LineageSchemaError,
+    records_from_docs,
+    validate_lineage_lines,
+)
 from repro.obs.report import render_file_summary, render_flame
 from repro.obs.schema import TraceSchemaError, validate_trace_lines
 
@@ -43,8 +55,115 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_lineage_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs lineage",
+        description="Summarise or query a cell-level lineage JSON-lines file.",
+    )
+    parser.add_argument("lineage_file", help="Path to the lineage file ('-' reads stdin)")
+    parser.add_argument(
+        "--explain",
+        type=int,
+        metavar="ROW",
+        default=None,
+        help="Print the ordered lineage chain of one row (by hidden row id)",
+    )
+    parser.add_argument(
+        "--column",
+        default=None,
+        help="With --explain: restrict the chain to one column",
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="Only validate the file against the lineage record schema and exit",
+    )
+    return parser
+
+
+def _fmt_value(value: object) -> str:
+    if value is None:
+        return "NULL"
+    return repr(value)
+
+
+def lineage_main(argv: Sequence[str]) -> int:
+    args = build_lineage_parser().parse_args(argv)
+    if args.column is not None and args.explain is None:
+        print("error: --column requires --explain", file=sys.stderr)
+        return 2
+    try:
+        if args.lineage_file == "-":
+            docs = validate_lineage_lines(sys.stdin, source="stdin")
+        else:
+            with open(args.lineage_file, "r", encoding="utf-8") as handle:
+                docs = validate_lineage_lines(handle, source=args.lineage_file)
+    except FileNotFoundError:
+        print(f"error: no such lineage file: {args.lineage_file}", file=sys.stderr)
+        return 2
+    except LineageSchemaError as exc:
+        print(f"error: invalid lineage file: {exc}", file=sys.stderr)
+        return 1
+    if args.validate:
+        print(f"{args.lineage_file}: {len(docs)} lineage records, schema ok")
+        return 0
+    recorder = records_from_docs(docs)
+    try:
+        if args.explain is not None:
+            chain = recorder.explain(args.explain, args.column)
+            cell = f"row {args.explain}" + (f", column {args.column!r}" if args.column else "")
+            if not chain:
+                print(f"{cell}: no lineage records — the cleaner never touched it")
+                return 0
+            print(f"{cell}: {len(chain)} record(s)")
+            for record in chain:
+                if record["event"] == "edit":
+                    head = (
+                        f"  #{record['seq']} [{record['phase']}] {record['operator']}"
+                        f"/{record['kind']} on {record['column']!r}: "
+                        f"{_fmt_value(record['before'])} -> {_fmt_value(record['after'])}"
+                    )
+                else:
+                    head = (
+                        f"  #{record['seq']} [{record['phase']}] {record['operator']}"
+                        f"/{record['kind']}: row {record['mode']}"
+                    )
+                print(head)
+                print(f"      step {record['step_id']}  target {record['target']!r}")
+                for call in record["llm"]:
+                    hit = {True: "hit", False: "miss", None: "uncached"}[call["hit"]]
+                    print(f"      llm {call['purpose'] or '?'} cache {hit} key {call['cache_key'][:16]}")
+            return 0
+        edits = sum(1 for d in docs if d["event"] == "edit")
+        removes = len(docs) - edits
+        phases = sorted({d["phase"] for d in docs})
+        print(f"{len(docs)} lineage records: {edits} edits, {removes} removals")
+        print(
+            f"net changed cells: {len(recorder.changed_cells())}; "
+            f"removed rows: {len(recorder.removed_row_ids())}; "
+            f"phases: {', '.join(phases) if phases else '-'}"
+        )
+        census = recorder.census()
+        if census:
+            width = max(len(op) for op in census)
+            print()
+            print(f"{'operator'.ljust(width)}  {'edits':>7}  {'net cells':>9}  {'removed':>7}")
+            for op in sorted(census):
+                entry = census[op]
+                print(
+                    f"{op.ljust(width)}  {entry['edits']:>7}  "
+                    f"{entry['net_cells']:>9}  {entry['removed_rows']:>7}"
+                )
+    except BrokenPipeError:
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    arglist: List[str] = list(sys.argv[1:] if argv is None else argv)
+    if arglist and arglist[0] == "lineage":
+        return lineage_main(arglist[1:])
+    args = build_parser().parse_args(arglist)
     if args.top < 1:
         print("error: --top must be >= 1", file=sys.stderr)
         return 2

@@ -14,11 +14,19 @@ Three consumers:
 
 Everything here consumes the *dict* form of spans (``Span.to_dict`` /
 validated trace lines), so the CLI works on files from another process.
+
+Traces are not always whole: the tracer's bounded store evicts oldest
+traces, so a long-running job can leave *orphan* fragments — spans whose
+parent finished, was recorded, and was evicted before the child completed.
+:func:`synthesize_root` folds such a fragment list under one synthetic root
+so every renderer still draws a single tree, and the renderers themselves
+read span fields defensively (an orphan produced by another process or an
+older schema renders as zeros, never as a crash).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 
 def _fmt_seconds(seconds: float) -> str:
@@ -27,10 +35,62 @@ def _fmt_seconds(seconds: float) -> str:
     return f"{seconds * 1000.0:.2f}ms"
 
 
+def _wall(doc: Dict[str, Any]) -> float:
+    return float(doc.get("wall_seconds") or 0.0)
+
+
+def _cpu(doc: Dict[str, Any]) -> float:
+    return float(doc.get("cpu_seconds") or 0.0)
+
+
+def synthesize_root(
+    fragments: Sequence[Dict[str, Any]], trace_id: Optional[str] = None
+) -> Optional[Dict[str, Any]]:
+    """One renderable tree out of a trace's root fragments.
+
+    A complete trace has exactly one root, which is returned untouched.  A
+    trace whose earlier fragments were evicted (or whose root has not
+    finished) has several — including orphans that still carry a
+    ``parent_id`` pointing at a span that no longer exists.  Those are
+    grouped under a synthetic ``(orphaned spans)`` root spanning their
+    combined wall time, so flame rendering and summarising keep working on
+    partial traces.  Returns ``None`` for an empty fragment list.
+    """
+    fragments = [f for f in fragments if isinstance(f, dict)]
+    if not fragments:
+        return None
+    if len(fragments) == 1:
+        return fragments[0]
+    started = [f.get("started_at") for f in fragments if f.get("started_at") is not None]
+    if started:
+        wall = max(
+            f.get("started_at", 0.0) + _wall(f)
+            for f in fragments
+            if f.get("started_at") is not None
+        ) - min(started)
+    else:
+        wall = sum(_wall(f) for f in fragments)
+    orphans = sum(1 for f in fragments if f.get("parent_id") is not None)
+    return {
+        "name": "(orphaned spans)",
+        "trace_id": trace_id if trace_id is not None else fragments[0].get("trace_id"),
+        "span_id": None,
+        "parent_id": None,
+        "started_at": min(started) if started else None,
+        "wall_seconds": wall,
+        "cpu_seconds": sum(_cpu(f) for f in fragments),
+        "status": "ok",
+        "attrs": {"synthetic": True, "fragments": len(fragments), "orphans": orphans},
+        "counters": {},
+        "children": list(fragments),
+    }
+
+
 def _span_counters_note(doc: Dict[str, Any]) -> str:
     notes = []
+    counters = doc.get("counters") or {}
     for key, label in (("llm_calls", "llm"), ("cache_hits", "hit"), ("cache_misses", "miss")):
-        value = doc["counters"].get(key)
+        value = counters.get(key)
         if value:
             notes.append(f"{label}={value}")
     if doc.get("status") == "error":
@@ -40,34 +100,34 @@ def _span_counters_note(doc: Dict[str, Any]) -> str:
 
 def _walk(doc: Dict[str, Any], depth: int = 0):
     yield depth, doc
-    for child in doc.get("children", []):
+    for child in doc.get("children") or []:
         yield from _walk(child, depth + 1)
 
 
 def render_flame(doc: Dict[str, Any], max_depth: int = 12) -> str:
     """One span tree as an indented per-node summary (depth-limited)."""
-    root_wall = doc["wall_seconds"] or 1e-12
+    root_wall = _wall(doc) or 1e-12
     lines = []
     for depth, node in _walk(doc):
         if depth > max_depth:
             continue
-        share = node["wall_seconds"] / root_wall * 100.0
-        attrs = node.get("attrs", {})
+        share = _wall(node) / root_wall * 100.0
+        attrs = node.get("attrs") or {}
         detail = ""
         interesting = {k: v for k, v in attrs.items() if k in ("target", "table", "rows", "rows_in", "rows_out", "kind", "strategy", "purpose", "job_id", "sequence", "stream", "column")}
         if interesting:
             detail = " (" + ", ".join(f"{k}={v}" for k, v in sorted(interesting.items())) + ")"
         lines.append(
-            f"{'  ' * depth}{node['name']}{detail}  "
-            f"{_fmt_seconds(node['wall_seconds'])} wall / {_fmt_seconds(node['cpu_seconds'])} cpu"
+            f"{'  ' * depth}{node.get('name', '(unnamed)')}{detail}  "
+            f"{_fmt_seconds(_wall(node))} wall / {_fmt_seconds(_cpu(node))} cpu"
             f"  {share:5.1f}%{_span_counters_note(node)}"
         )
     return "\n".join(lines)
 
 
 def _plan_node_label(node: Dict[str, Any]) -> str:
-    attrs = node.get("attrs", {})
-    bits = [node["name"]]
+    attrs = node.get("attrs") or {}
+    bits = [node.get("name", "(unnamed)")]
     for key in ("table", "kind", "strategy", "function"):
         if key in attrs:
             bits.append(str(attrs[key]))
@@ -82,9 +142,9 @@ def _plan_node_label(node: Dict[str, Any]) -> str:
 
 def render_explain(doc: Dict[str, Any]) -> str:
     """An ``EXPLAIN ANALYZE``-style report for one ``sql.query`` span."""
-    total = doc["wall_seconds"] or 1e-12
-    statement = doc.get("attrs", {}).get("statement", "")
-    header = f"QUERY  {_fmt_seconds(doc['wall_seconds'])} total"
+    total = _wall(doc) or 1e-12
+    statement = (doc.get("attrs") or {}).get("statement", "")
+    header = f"QUERY  {_fmt_seconds(_wall(doc))} total"
     if statement:
         header += f"\n  {statement}"
     lines = [header]
@@ -92,11 +152,11 @@ def render_explain(doc: Dict[str, Any]) -> str:
         if depth == 0:
             continue
         label = _plan_node_label(node)
-        pct = node["wall_seconds"] / total * 100.0
+        pct = _wall(node) / total * 100.0
         pad = "  " * depth
         dots = max(2, 54 - len(pad) - len(label))
         lines.append(
-            f"{pad}{label} {'.' * dots} {_fmt_seconds(node['wall_seconds'])} ({pct:.1f}%)"
+            f"{pad}{label} {'.' * dots} {_fmt_seconds(_wall(node))} ({pct:.1f}%)"
         )
     if len(lines) == 1:
         lines.append("  (no recorded plan nodes)")
@@ -114,25 +174,26 @@ def summarise_spans(docs: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
     errors = 0
     for doc in docs:
         traces += 1
-        total_wall += doc["wall_seconds"]
+        total_wall += _wall(doc)
         for depth, node in _walk(doc):
+            name = node.get("name", "(unnamed)")
             entry = by_name.setdefault(
-                node["name"], {"count": 0, "wall_seconds": 0.0, "cpu_seconds": 0.0}
+                name, {"count": 0, "wall_seconds": 0.0, "cpu_seconds": 0.0}
             )
             entry["count"] += 1
-            entry["wall_seconds"] += node["wall_seconds"]
-            entry["cpu_seconds"] += node["cpu_seconds"]
+            entry["wall_seconds"] += _wall(node)
+            entry["cpu_seconds"] += _cpu(node)
             if node.get("status") == "error":
                 errors += 1
-            counters = node.get("counters", {})
+            counters = node.get("counters") or {}
             cache["hits"] += counters.get("cache_hits", 0)
             cache["misses"] += counters.get("cache_misses", 0)
             for key, value in counters.items():
                 if key.startswith("llm:"):
                     purpose = key[len("llm:"):]
                     llm_by_purpose[purpose] = llm_by_purpose.get(purpose, 0) + int(value)
-            if node["name"].startswith("sql.") and node["name"] != "sql.query":
-                sql_nodes.append((node["wall_seconds"], _plan_node_label(node)))
+            if name.startswith("sql.") and name != "sql.query":
+                sql_nodes.append((_wall(node), _plan_node_label(node)))
     llm_total = sum(llm_by_purpose.values())
     requests = cache["hits"] + cache["misses"]
     return {

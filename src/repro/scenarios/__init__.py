@@ -18,6 +18,12 @@ waiting for them to be found by accident:
   helpers, exposed through ``python -m repro.scenarios``.
 """
 
+from repro.scenarios.attribution import (
+    AttributionScorecard,
+    render_scorecard,
+    score_result,
+    score_scenario,
+)
 from repro.scenarios.catalog import builtin_specs, get_scenario, scenario_names
 from repro.scenarios.corpus import GOLDEN_PATH, build_payload, check_golden, write_golden
 from repro.scenarios.replay import (
@@ -53,6 +59,7 @@ from repro.scenarios.spec import (
 )
 
 __all__ = [
+    "AttributionScorecard",
     "GOLDEN_PATH",
     "MODEL_TYPES",
     "ReplayMismatch",
@@ -84,5 +91,8 @@ __all__ = [
     "generate",
     "get_scenario",
     "model_from_dict",
+    "render_scorecard",
     "scenario_names",
+    "score_result",
+    "score_scenario",
 ]

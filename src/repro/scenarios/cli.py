@@ -8,6 +8,9 @@ Commands::
                                per scenario, otherwise a summary line each
     replay  [NAME...]          replay scenarios (--mode inprocess|http) and
                                assert parity + drift expectations
+    scorecard [NAME...]        clean each scenario and join its cell lineage
+                               against the ground-truth diff: true-fix /
+                               false-fix / missed per operator
 
     --golden                   regression-check GOLDEN_scenarios.json
     --golden --refresh         rewrite it from the current code (the only
@@ -28,6 +31,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.dataframe.io import to_csv_text
+from repro.scenarios.attribution import render_scorecard, score_scenario
 from repro.scenarios.catalog import get_scenario, scenario_names
 from repro.scenarios.corpus import GOLDEN_PATH, check_golden, write_golden
 from repro.scenarios.models import ScenarioError
@@ -40,7 +44,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.scenarios",
         description="Generate, replay, and regression-gate cleaning scenarios.",
     )
-    parser.add_argument("command", nargs="?", choices=["list", "generate", "replay"],
+    parser.add_argument("command", nargs="?",
+                        choices=["list", "generate", "replay", "scorecard"],
                         help="what to do (omit when using --golden)")
     parser.add_argument("names", nargs="*",
                         help="scenario names (default: the whole catalogue)")
@@ -140,6 +145,24 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_scorecard(args: argparse.Namespace) -> int:
+    cards = []
+    unreconciled = 0
+    for spec in _selected_specs(args):
+        card = score_scenario(spec)
+        cards.append(card.to_dict())
+        if not card.reconciled:
+            unreconciled += 1
+        if not args.json:
+            print(render_scorecard(card))
+    if args.json:
+        print(json.dumps(cards, indent=1, sort_keys=True))
+    if unreconciled:
+        print(f"{unreconciled} scenario(s) failed lineage reconciliation", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_golden(args: argparse.Namespace) -> int:
     path = Path(args.golden_path)
     if args.refresh:
@@ -175,6 +198,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 0
         if args.command == "generate":
             return _cmd_generate(args)
+        if args.command == "scorecard":
+            return _cmd_scorecard(args)
         return _cmd_replay(args)
     except (ScenarioError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)

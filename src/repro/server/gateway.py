@@ -35,6 +35,7 @@ from repro.dataframe.table import Table
 from repro.llm.cache import PromptCacheStore, cached_client
 from repro.llm.simulated import SimulatedSemanticLLM
 from repro.obs import current_ref, get_tracer
+from repro.obs.lineage import json_safe_record
 from repro.obs.metrics import MetricsRegistry, prometheus_gauges_from
 from repro.obs.metrics import get_registry as get_default_registry
 from repro.service.jobs import JobStatus
@@ -350,6 +351,43 @@ class CleaningGateway:
             "trace_id": trace_id,
             "spans": spans,
         }
+
+    def job_lineage(
+        self, job_id: int, row: Optional[int] = None, column: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """``GET /v1/jobs/{id}/lineage``: the job's cell-level audit trail.
+
+        Without query parameters, returns every lineage record plus the
+        recorder's census; with ``?row=`` (and optionally ``&column=``)
+        returns just that cell's ordered explain chain.  Raises
+        :class:`ResultNotReady` while the job is pending/running; a job
+        whose pipeline predates lineage (or failed) reports zero records
+        rather than 404 — the job exists, it just has nothing to explain.
+        """
+        job = self.service.job(job_id)
+        if not job.done or job.result is None:
+            raise ResultNotReady(f"job {job_id} is still {job.status}")
+        result = job.result
+        recorder = (
+            getattr(result.cleaning_result, "lineage", None)
+            if result.cleaning_result is not None
+            else None
+        )
+        doc: Dict[str, Any] = {
+            "job_id": job.job_id,
+            "name": job.name,
+            "status": str(result.status),
+        }
+        if recorder is None:
+            doc.update({"records": [], "changed_cells": 0, "removed_rows": [], "census": {}})
+            return doc
+        if row is not None:
+            doc["row_id"] = row
+            doc["column"] = column
+            doc["records"] = [json_safe_record(r) for r in recorder.explain(row, column)]
+            return doc
+        doc.update(recorder.to_doc())
+        return doc
 
     # -- observability ------------------------------------------------------------------------
     def healthz(self) -> Dict[str, Any]:

@@ -15,6 +15,8 @@ Routing table::
     GET  /v1/jobs/{id}                job lifecycle + ServiceStats
     GET  /v1/jobs/{id}/result         cleaned CSV + commented SQL script
     GET  /v1/jobs/{id}/trace          span tree of the job's execution
+    GET  /v1/jobs/{id}/lineage        cell-level audit trail (409 until done);
+                                      ?row=&column= for one cell's explain chain
     POST /v1/streams/{name}/batches   feed one micro-batch (429 on backpressure)
     GET  /v1/streams/{name}           per-stream counters
     GET  /v1/streams/{name}/result    cumulative cleaned CSV + stream stats
@@ -48,6 +50,7 @@ from repro.stream.service import StreamBackpressure
 _JOB_PATH = re.compile(r"^/v1/jobs/(\d+)$")
 _JOB_RESULT_PATH = re.compile(r"^/v1/jobs/(\d+)/result$")
 _JOB_TRACE_PATH = re.compile(r"^/v1/jobs/(\d+)/trace$")
+_JOB_LINEAGE_PATH = re.compile(r"^/v1/jobs/(\d+)/lineage$")
 _STREAM_PATH = re.compile(r"^/v1/streams/([^/]+)$")
 _STREAM_BATCHES_PATH = re.compile(r"^/v1/streams/([^/]+)/batches$")
 _STREAM_RESULT_PATH = re.compile(r"^/v1/streams/([^/]+)/result$")
@@ -247,6 +250,23 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
                 self._send_error_json(405, "job traces are read-only")
                 return
             self._send_json(200, gateway.job_trace(int(match.group(1))))
+            return
+        match = _JOB_LINEAGE_PATH.match(path)
+        if match:
+            if method != "GET":
+                self._send_error_json(405, "job lineage is read-only")
+                return
+            query = parse_qs(urlparse(self.path).query)
+            row: Optional[int] = None
+            if "row" in query:
+                try:
+                    row = int(query["row"][0])
+                except ValueError:
+                    raise BadRequest(f"?row= must be an integer, got {query['row'][0]!r}")
+            column = query["column"][0] if "column" in query else None
+            if column is not None and row is None:
+                raise BadRequest("?column= requires ?row=")
+            self._send_json(200, gateway.job_lineage(int(match.group(1)), row=row, column=column))
             return
         match = _STREAM_BATCHES_PATH.match(path)
         if match:

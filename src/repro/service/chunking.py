@@ -45,6 +45,10 @@ from repro.dataframe.table import Table
 from repro.llm.base import LLMClient
 from repro.llm.cache import PromptCacheStore, cached_client
 from repro.llm.simulated import SimulatedSemanticLLM
+from repro.obs import current_ref as obs_current_ref
+from repro.obs import span as obs_span
+from repro.obs.lineage import LineageRecorder
+from repro.obs.trace import SpanRef
 from repro.sql.database import Database
 
 LLMFactory = Callable[[], LLMClient]
@@ -77,17 +81,23 @@ def _chunk_bounds(num_rows: int, chunk_rows: int) -> List[Tuple[int, int]]:
     return [(start, min(start + chunk_rows, num_rows)) for start in range(0, num_rows, chunk_rows)]
 
 
+#: What one chunk produced: cleaned table, operator results, SQL, LLM calls,
+#: and the chunk's lineage recorder (merged into the job recorder afterwards).
+ChunkOutput = Tuple[Table, List[OperatorResult], List[str], int, LineageRecorder]
+
+
 def _clean_chunk(
     chunk_table: Table,
     chunk_name: str,
     config: CleaningConfig,
     llm: LLMClient,
     hil: HumanInTheLoop,
-) -> Tuple[Table, List[OperatorResult], List[str], int]:
+) -> ChunkOutput:
     """Run the column-level operators on one chunk in its own database."""
     db = Database(name=chunk_name)
     db.register(chunk_table.rename(chunk_name), replace=True)
-    context = CleaningContext(db, llm, chunk_name, config=config)
+    lineage = LineageRecorder(phase="batch")
+    context = CleaningContext(db, llm, chunk_name, config=config, lineage=lineage)
     issues = [i for i in COLUMN_LEVEL_ISSUES if config.issue_enabled(i)]
     calls_before = llm.call_count
     results = run_operators(context, hil, operators=default_operators(issues))
@@ -96,6 +106,7 @@ def _clean_chunk(
         results,
         list(context.sql_statements),
         llm.call_count - calls_before,
+        lineage,
     )
 
 
@@ -179,35 +190,56 @@ def clean_chunked(
     workers = max_workers if max_workers is not None else min(len(bounds), 4)
     workers = max(1, workers)
 
-    try:
-        chunk_outputs = _run_chunks(
-            working, bounds, base_name, config, llm_factory, hil_factory, cache_store, workers
-        )
-        cleaned_chunks = [output[0] for output in chunk_outputs]
-        _validate_chunk_schemas(cleaned_chunks)
-    except Exception:
-        return _whole_table(
-            table, chunk_rows, llm_factory, config, hil_factory, cache_store, fell_back=True
-        )
+    with obs_span(
+        "pipeline.clean_chunked",
+        table=table.name or base_name,
+        rows=table.num_rows,
+        chunks=len(bounds),
+        workers=workers,
+    ) as sp:
+        # Chunks run on pool threads, outside this thread's span stack; the
+        # explicit ref parents each chunk span so chunked jobs keep the
+        # service.job → pipeline.clean_chunked → pipeline.chunk tree.
+        parent_ref = obs_current_ref()
+        try:
+            chunk_outputs = _run_chunks(
+                working, bounds, base_name, config, llm_factory, hil_factory,
+                cache_store, workers, parent_ref,
+            )
+            cleaned_chunks = [output[0] for output in chunk_outputs]
+            _validate_chunk_schemas(cleaned_chunks)
+        except Exception:
+            sp.annotate(fell_back=True)
+            return _whole_table(
+                table, chunk_rows, llm_factory, config, hil_factory, cache_store, fell_back=True
+            )
 
-    merged = cleaned_chunks[0]
-    for chunk in cleaned_chunks[1:]:
-        merged = merged.concat_rows(chunk)
-    merged = merged.rename(base_name)
+        merged = cleaned_chunks[0]
+        for chunk in cleaned_chunks[1:]:
+            merged = merged.concat_rows(chunk)
+        merged = merged.rename(base_name)
 
-    # Table-level pass on the merged result, in its own database and context.
-    table_llm = cached_client(llm_factory(), cache_store)
-    db = Database(name=base_name)
-    db.register(merged, replace=True)
-    context = CleaningContext(db, table_llm, base_name, config=config)
-    table_issues = [i for i in TABLE_LEVEL_ISSUES if config.issue_enabled(i)]
-    table_results = run_operators(context, hil_factory(), operators=default_operators(table_issues))
+        # Table-level pass on the merged result, in its own database and context.
+        table_llm = cached_client(llm_factory(), cache_store)
+        db = Database(name=base_name)
+        db.register(merged, replace=True)
+        table_lineage = LineageRecorder(phase="batch")
+        context = CleaningContext(db, table_llm, base_name, config=config, lineage=table_lineage)
+        table_issues = [i for i in TABLE_LEVEL_ISSUES if config.issue_enabled(i)]
+        table_results = run_operators(context, hil_factory(), operators=default_operators(table_issues))
 
-    cleaned = context.current_table().drop([ROW_ID_COLUMN]).rename(table.name)
-    operator_results: List[OperatorResult] = []
-    for _, results, _, _ in chunk_outputs:
-        operator_results.extend(results)
-    operator_results.extend(table_results)
+        cleaned = context.current_table().drop([ROW_ID_COLUMN]).rename(table.name)
+        operator_results: List[OperatorResult] = []
+        # One job-wide audit trail: chunk recorders merge in chunk order (their
+        # row-id ranges are disjoint), then the table-level pass's records.
+        lineage = LineageRecorder(phase="batch")
+        for _, results, _, _, chunk_lineage in chunk_outputs:
+            operator_results.extend(results)
+            lineage.merge(chunk_lineage)
+        lineage.merge(table_lineage)
+        operator_results.extend(table_results)
+        llm_calls = sum(calls for _, _, _, calls, _ in chunk_outputs) + table_llm.call_count
+        sp.annotate(llm_calls=llm_calls)
 
     return ChunkedCleaningResult(
         table_name=table.name,
@@ -215,11 +247,12 @@ def clean_chunked(
         cleaned_table=cleaned,
         operator_results=operator_results,
         sql_script=_render_chunked_script(base_name, chunk_rows, bounds, chunk_outputs, context.sql_statements),
-        llm_calls=sum(calls for _, _, _, calls in chunk_outputs) + (table_llm.call_count),
+        llm_calls=llm_calls,
         chunk_rows=chunk_rows,
         chunk_count=len(bounds),
         parallel_workers=workers,
         fell_back=False,
+        lineage=lineage,
     )
 
 
@@ -232,17 +265,24 @@ def _run_chunks(
     hil_factory: HILFactory,
     cache_store: Optional[PromptCacheStore],
     workers: int,
-) -> List[Tuple[Table, List[OperatorResult], List[str], int]]:
-    def run_one(index: int) -> Tuple[Table, List[OperatorResult], List[str], int]:
+    parent_ref: Optional[SpanRef] = None,
+) -> List[ChunkOutput]:
+    def run_one(index: int) -> ChunkOutput:
         start, end = bounds[index]
         chunk_table = working.take(list(range(start, end)))
-        return _clean_chunk(
-            chunk_table,
-            f"{base_name}_chunk{index}",
-            config,
-            cached_client(llm_factory(), cache_store),
-            hil_factory(),
-        )
+        with obs_span(
+            "pipeline.chunk",
+            parent_ref=parent_ref,
+            chunk_index=index,
+            rows=end - start,
+        ):
+            return _clean_chunk(
+                chunk_table,
+                f"{base_name}_chunk{index}",
+                config,
+                cached_client(llm_factory(), cache_store),
+                hil_factory(),
+            )
 
     if workers == 1:
         return [run_one(i) for i in range(len(bounds))]
@@ -273,6 +313,7 @@ def _whole_table(
         chunk_count=1,
         parallel_workers=1,
         fell_back=fell_back,
+        lineage=result.lineage,
     )
 
 
@@ -280,7 +321,7 @@ def _render_chunked_script(
     base_name: str,
     chunk_rows: int,
     bounds: Sequence[Tuple[int, int]],
-    chunk_outputs: Sequence[Tuple[Table, List[OperatorResult], List[str], int]],
+    chunk_outputs: Sequence[ChunkOutput],
     table_statements: Sequence[str],
 ) -> str:
     lines: List[str] = [
@@ -288,7 +329,7 @@ def _render_chunked_script(
         f"-- {len(bounds)} chunks of at most {chunk_rows} rows; column-level issues cleaned per",
         "-- chunk, table-level issues (FD, duplication, uniqueness) on the merged result.",
     ]
-    for index, ((start, end), (_, _, statements, _)) in enumerate(zip(bounds, chunk_outputs)):
+    for index, ((start, end), (_, _, statements, _, _)) in enumerate(zip(bounds, chunk_outputs)):
         lines.append("")
         lines.append(f"-- chunk {index}: rows {start}..{end - 1}")
         if statements:

@@ -52,11 +52,12 @@ from repro.dataframe.table import Table
 from repro.llm.base import LLMClient
 from repro.llm.simulated import SimulatedSemanticLLM
 from repro.obs import span as obs_span
+from repro.obs.lineage import LineageRecorder
 from repro.profiling.incremental import IncrementalDuplicateState, IncrementalFDState
 from repro.profiling.mergeable import MergeableColumnProfile
 from repro.sql.database import Database
 from repro.stream.drift import ColumnDrift, DriftConfig, DriftDetector
-from repro.stream.state import TableLevelState
+from repro.stream.state import TableLevelDelta, TableLevelState
 
 Row = Tuple[Any, ...]
 
@@ -178,6 +179,11 @@ class StreamingCleaner:
         self.plan: Optional[CleaningPlan] = None
         self.batch_results: List[StreamBatchResult] = []
         self.stats = StreamStats()
+        # Cell-level audit trail of the whole stream: row-local replay records
+        # every strict cell change per plan step, table-level folds record
+        # drops/retractions; a re-plan resets and rebuilds it, so the recorder
+        # always explains exactly the current cumulative output.
+        self.lineage = LineageRecorder(phase="replay")
 
         self._schema: Optional[List[Tuple[str, ColumnType]]] = None
         self._next_row_id = 0
@@ -288,6 +294,8 @@ class StreamingCleaner:
         self._fd_state = None
         self._table_state = None
         self._cleaned_dtypes = None
+        self.lineage.reset()
+        self.lineage.phase = "replay"
 
     # -- phases ------------------------------------------------------------------
     def _prime(self, batch: Table, first_row_id: int) -> StreamBatchResult:
@@ -311,6 +319,7 @@ class StreamingCleaner:
         # sees a uniform history.
         rows = self._replay_rows(self._with_row_ids(raw, 0))
         delta = self._table_state.apply_batch(rows)
+        self._record_removals(delta)
         self.stats.primes += 1
         return StreamBatchResult(
             batch_index=len(self.batch_results),
@@ -327,6 +336,7 @@ class StreamingCleaner:
         calls_before = self.llm.call_count
         rows = self._replay_rows(self._with_row_ids(batch, first_row_id))
         delta = self._table_state.apply_batch(rows)
+        self._record_removals(delta)
         llm_calls = self.llm.call_count - calls_before
         if llm_calls:  # pragma: no cover - guarded invariant
             raise AssertionError(
@@ -356,11 +366,19 @@ class StreamingCleaner:
                 {name: self._raw_profiles[name] for name in drifted}
             )
         # Rebuild the cumulative output under the new plan and surface the
-        # difference as retractions + (re-)additions.
+        # difference as retractions + (re-)additions.  Lineage restarts too:
+        # the old records explain an output the new plan just rewrote, so the
+        # rebuild re-records every surviving cell under the ``replan`` phase.
         previous = self._table_state.survivors if self._table_state else {}
         self._table_state = TableLevelState(self.plan.table_level_steps, self.plan.column_names)
-        rows = self._replay_rows(self._with_row_ids(self._raw_table(), 0))
-        self._table_state.apply_batch(rows)
+        self.lineage.reset()
+        self.lineage.phase = "replan"
+        try:
+            rows = self._replay_rows(self._with_row_ids(self._raw_table(), 0))
+            rebuild_delta = self._table_state.apply_batch(rows)
+            self._record_removals(rebuild_delta, previous_survivors=previous)
+        finally:
+            self.lineage.phase = "replay"
         current = self._table_state.survivors
         added = [
             (row_id, row)
@@ -438,7 +456,7 @@ class StreamingCleaner:
 
     def _replay_rows(self, batch_with_ids: Table) -> List[Tuple[int, Row]]:
         """Row-local replay of a batch; returns (row_id, data values) pairs."""
-        replayed = self.plan.replay_row_local(batch_with_ids)
+        replayed = self.plan.replay_row_local(batch_with_ids, lineage=self.lineage)
         self._cleaned_dtypes = [
             c.dtype for c in replayed.columns if c.name != ROW_ID_COLUMN
         ]
@@ -448,6 +466,42 @@ class StreamingCleaner:
             (int(row_id), tuple(values[i] for values in data_columns))
             for i, row_id in enumerate(ids)
         ]
+
+    def _record_removals(
+        self,
+        delta: TableLevelDelta,
+        previous_survivors: Optional[Dict[int, Row]] = None,
+    ) -> None:
+        """Record a fold delta's drops/retractions into the stream's lineage.
+
+        Each removal is attributed to the table-level step that actually
+        filtered the row (``delta.removed_by_step``).  During a re-plan
+        rebuild the fresh fold reports every non-surviving row as "dropped";
+        ``previous_survivors`` reclassifies the ones the stream had already
+        emitted as retractions.
+        """
+        steps = self._table_state.steps if self._table_state else []
+        previous = previous_survivors or {}
+        # Keep-best refolds can resurface a row removed earlier; its stale
+        # removal records must go before this delta's removals are written.
+        self.lineage.discard_removals(row_id for row_id, _ in delta.kept)
+        removals = [(row_id, "dropped") for row_id in delta.dropped_row_ids]
+        removals.extend((row_id, "retracted") for row_id in delta.retracted_row_ids)
+        for row_id, mode in removals:
+            if previous_survivors is not None and mode == "dropped" and row_id in previous:
+                mode = "retracted"
+            index = delta.removed_by_step.get(row_id)
+            step = steps[index] if index is not None and index < len(steps) else None
+            if step is None and steps:
+                step = steps[-1]
+            self.lineage.record_removal(
+                row_id,
+                operator=step.issue_type if step else "table_level",
+                target=step.target if step else self.name,
+                kind=step.kind if step else "",
+                step_id=step.step_id if step else "",
+                mode=mode,
+            )
 
     def _replan_column(self, column: str) -> List[PlanStep]:
         """Re-run the column-level operators for one drifted column.

@@ -42,6 +42,9 @@ class TableLevelDelta:
     dropped_row_ids: List[int] = field(default_factory=list)
     #: Previously emitted rows that a later row displaced (keep-best only).
     retracted_row_ids: List[int] = field(default_factory=list)
+    #: row id → index (into the fold's step list) of the step that removed it,
+    #: for dropped *and* retracted rows — the lineage layer's attribution.
+    removed_by_step: Dict[int, int] = field(default_factory=dict)
 
 
 class TableLevelState:
@@ -108,10 +111,11 @@ class TableLevelState:
             # A row claims each step's key the moment it wins *that* step:
             # a row kept by step 1 but dropped by step 2 still shadows later
             # rows at step 1, exactly as the chained QUALIFY statements do.
-            for key_idx, seen in zip(key_indexes, self._seen):
+            for step_index, (key_idx, seen) in enumerate(zip(key_indexes, self._seen)):
                 key = tuple(_hashable(row[i]) for i in key_idx)
                 if key in seen:
                     won = False
+                    delta.removed_by_step[row_id] = step_index
                     break
                 seen[key] = row_id
             if won:
@@ -133,8 +137,11 @@ class TableLevelState:
         surfaced.
         """
         previous = self._survivors
+        removed_by: Dict[int, int] = {}
         new_survivors = dict(
-            table_level_survivors(self.steps, self._history, self.column_names)
+            table_level_survivors(
+                self.steps, self._history, self.column_names, removed_by_step=removed_by
+            )
         )
         delta = TableLevelDelta()
         for row_id in sorted(new_survivors):
@@ -146,6 +153,11 @@ class TableLevelState:
         delta.dropped_row_ids = [
             row_id for row_id, _ in batch if row_id not in new_survivors
         ]
+        delta.removed_by_step = {
+            row_id: removed_by[row_id]
+            for row_id in delta.retracted_row_ids + delta.dropped_row_ids
+            if row_id in removed_by
+        }
         self._survivors = new_survivors
         return delta
 
@@ -165,16 +177,20 @@ def table_level_survivors(
     steps: Sequence[PlanStep],
     rows: Sequence[Tuple[int, Row]],
     column_names: Sequence[str],
+    removed_by_step: Optional[Dict[int, int]] = None,
 ) -> List[Tuple[int, Row]]:
     """Batch oracle: apply the table-level steps to ``rows`` in one pass.
 
     Semantically identical to chaining the operators' QUALIFY statements on a
     table containing ``rows`` (in row-id order) — used by the streaming fold
     as its keep-best path and by tests as the reference implementation.
+
+    When ``removed_by_step`` is given, every filtered row id is recorded in it
+    against the index of the step that removed it.
     """
     column_index = {name: i for i, name in enumerate(column_names)}
     current = list(rows)
-    for step in steps:
+    for step_index, step in enumerate(steps):
         if step.kind == "dedup":
             cols = step.payload.get("columns") or list(column_names)
             key_idx = [column_index[c] for c in cols]
@@ -206,5 +222,9 @@ def table_level_survivors(
             if sort_key < incumbent_key:
                 winners[key] = (position, (row_id, row))
         keep_positions = {position for position, _ in winners.values()}
+        if removed_by_step is not None:
+            for position, (row_id, _row) in enumerate(current):
+                if position not in keep_positions:
+                    removed_by_step[row_id] = step_index
         current = [entry for position, entry in enumerate(current) if position in keep_positions]
     return current

@@ -1,0 +1,126 @@
+"""Property tests for the Prometheus histogram exposition.
+
+Whatever gets observed, the rendered text must be a coherent histogram:
+per-series ``le`` bucket values cumulative and monotone non-decreasing, the
+``+Inf`` bucket equal to ``_count``, ``_count`` equal to the number of
+observations, and ``_sum`` their exact sum.  Scrapers (and recording rules
+like ``histogram_quantile``) silently misbehave on any violation, so this
+is pinned as an invariant rather than as example cases.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.metrics import MetricsRegistry
+
+FINITE = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+#: The occasional positive infinity is legal (lands in +Inf only).
+VALUES = st.one_of(FINITE, st.just(math.inf))
+
+BUCKET_EDGES = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=8,
+    unique=True,
+).map(sorted)
+
+LABELS = st.sampled_from(["alpha", "beta", "gamma"])
+
+_SERIES = re.compile(
+    r"^(?P<name>[a-z_]+)_(?P<suffix>bucket|sum|count)(?:\{(?P<labels>[^}]*)\})? (?P<value>\S+)$"
+)
+
+
+def parse_histogram(text: str, name: str):
+    """Per-label-series view of one rendered histogram family."""
+    series: dict = {}
+    for line in text.splitlines():
+        if line.startswith("#") or not line.startswith(name):
+            continue
+        match = _SERIES.match(line)
+        assert match, f"unparseable exposition line: {line!r}"
+        labels = match.group("labels") or ""
+        pairs = dict(
+            item.split("=", 1) for item in labels.split(",") if item
+        )
+        le = pairs.pop("le", None)
+        key = tuple(sorted(pairs.items()))
+        entry = series.setdefault(key, {"buckets": [], "sum": None, "count": None})
+        value = float(match.group("value").replace("+Inf", "inf"))
+        if match.group("suffix") == "bucket":
+            assert le is not None, f"bucket line without le: {line!r}"
+            entry["buckets"].append((float(le.strip('"').replace("+Inf", "inf")), value))
+        else:
+            entry[match.group("suffix")] = value
+    return series
+
+
+class TestHistogramExposition:
+    @given(
+        values=st.lists(st.tuples(VALUES, LABELS), min_size=1, max_size=60),
+        edges=BUCKET_EDGES,
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_buckets_cumulative_and_consistent(self, values, edges):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "repro_prop_seconds", "property probe", ["kind"], buckets=edges
+        )
+        for value, label in values:
+            histogram.observe(value, kind=label)
+
+        series = parse_histogram(registry.render_prometheus(), "repro_prop_seconds")
+        observed_by_label: dict = {}
+        for value, label in values:
+            observed_by_label.setdefault(label, []).append(value)
+
+        assert set(series) == {
+            (("kind", f'"{label}"'),) for label in observed_by_label
+        }
+        for key, entry in series.items():
+            label = key[0][1].strip('"')
+            observations = observed_by_label[label]
+
+            buckets = entry["buckets"]  # rendered order == ascending le
+            les = [le for le, _ in buckets]
+            assert les == sorted(les)
+            assert les[-1] == math.inf
+            assert len(les) == len(edges) + 1
+            for rendered, edge in zip(les[:-1], edges):
+                # The exposition may shorten the edge's textual form, but
+                # never by more than formatting precision.
+                assert math.isclose(rendered, edge, rel_tol=1e-6, abs_tol=1e-6)
+
+            counts = [c for _, c in buckets]
+            assert counts == sorted(counts), "bucket counts must be monotone"
+            # Membership is defined by the true edges, not their rendering.
+            for edge, (_, cumulative) in zip(edges, buckets):
+                expected = sum(1 for v in observations if v <= edge)
+                assert cumulative == expected, (edge, cumulative, expected)
+
+            assert entry["count"] == len(observations)
+            assert buckets[-1][1] == entry["count"], "+Inf bucket must equal _count"
+            assert entry["sum"] == float(sum(observations)) or math.isclose(
+                entry["sum"], sum(observations), rel_tol=1e-9, abs_tol=1e-9
+            )
+
+    @given(values=st.lists(FINITE, min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_unlabelled_default_buckets(self, values):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_plain_seconds", "unlabelled probe")
+        for value in values:
+            histogram.observe(value)
+        series = parse_histogram(registry.render_prometheus(), "repro_plain_seconds")
+        assert set(series) == {()}
+        entry = series[()]
+        counts = [c for _, c in entry["buckets"]]
+        assert counts == sorted(counts)
+        assert entry["buckets"][-1][1] == entry["count"] == len(values)
+        assert math.isclose(entry["sum"], sum(values), rel_tol=1e-9, abs_tol=1e-9)

@@ -1,0 +1,142 @@
+"""``GET /v1/jobs/{id}/lineage`` — the served audit trail for one job."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.obs.lineage import validate_lineage_record
+from repro.server.gateway import CleaningGateway
+from repro.server.http import make_server
+
+DIRTY_CSV = (
+    "city,price\n"
+    "new york,10\n"
+    "New York,12\n"
+    "N/A,11\n"
+    "boston,9\n"
+)
+
+
+@pytest.fixture(scope="module")
+def server():
+    gateway = CleaningGateway(workers=2, stream_workers=1)
+    httpd = make_server(gateway, port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{httpd.port}"
+    httpd.shutdown()
+    thread.join()
+    gateway.shutdown()
+
+
+def _get(base, path):
+    with urllib.request.urlopen(base + path, timeout=30) as response:
+        body = response.read().decode("utf-8")
+        if response.headers.get("Content-Type", "").startswith("application/json"):
+            body = json.loads(body)
+        return response.status, body
+
+
+def _submit_and_wait(base, name="lineage-test"):
+    payload = json.dumps({"csv": DIRTY_CSV, "name": name}).encode("utf-8")
+    request = urllib.request.Request(
+        base + "/v1/jobs", data=payload, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        job = json.loads(response.read())
+    deadline = time.time() + 60
+    while time.time() < deadline:
+        _, doc = _get(base, f"/v1/jobs/{job['job_id']}")
+        if doc["done"]:
+            return job["job_id"]
+        time.sleep(0.05)
+    raise AssertionError("job did not finish")
+
+
+@pytest.fixture(scope="module")
+def job_id(server):
+    return _submit_and_wait(server)
+
+
+class TestFullDocument:
+    def test_records_and_census(self, server, job_id):
+        status, doc = _get(server, f"/v1/jobs/{job_id}/lineage")
+        assert status == 200
+        assert doc["job_id"] == job_id
+        assert doc["records"], "cleaning this CSV must touch at least one cell"
+        for record in doc["records"]:
+            validate_lineage_record(record)
+            json.dumps(record)  # served records are plain JSON scalars
+        assert isinstance(doc["changed_cells"], int)
+        assert doc["changed_cells"] >= 1
+        assert isinstance(doc["removed_rows"], list)
+        assert doc["census"]
+        for entry in doc["census"].values():
+            assert set(entry) == {"edits", "net_cells", "removed_rows"}
+
+    def test_census_reconciles_with_records(self, server, job_id):
+        _, doc = _get(server, f"/v1/jobs/{job_id}/lineage")
+        edits = sum(1 for r in doc["records"] if r["event"] == "edit")
+        assert sum(e["edits"] for e in doc["census"].values()) == edits
+
+
+class TestPerCellExplain:
+    def test_row_and_column_filter(self, server, job_id):
+        _, doc = _get(server, f"/v1/jobs/{job_id}/lineage")
+        sample = next(r for r in doc["records"] if r["event"] == "edit")
+        row, column = sample["row_id"], sample["column"]
+        query = urllib.parse.urlencode({"row": row, "column": column})
+        status, chain = _get(server, f"/v1/jobs/{job_id}/lineage?{query}")
+        assert status == 200
+        assert chain["row_id"] == row
+        assert chain["column"] == column
+        assert chain["records"]
+        for record in chain["records"]:
+            assert record["row_id"] == row
+            assert record["column"] in (column, None)  # removals have no column
+
+    def test_row_without_column_returns_whole_row(self, server, job_id):
+        _, doc = _get(server, f"/v1/jobs/{job_id}/lineage")
+        row = doc["records"][0]["row_id"]
+        status, chain = _get(server, f"/v1/jobs/{job_id}/lineage?row={row}")
+        assert status == 200
+        assert all(r["row_id"] == row for r in chain["records"])
+
+    def test_untouched_row_has_empty_chain(self, server, job_id):
+        status, chain = _get(server, f"/v1/jobs/{job_id}/lineage?row=999999")
+        assert status == 200
+        assert chain["records"] == []
+
+
+class TestErrors:
+    def test_non_integer_row_is_400(self, server, job_id):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(
+                server + f"/v1/jobs/{job_id}/lineage?row=abc", timeout=30
+            )
+        assert excinfo.value.code == 400
+
+    def test_column_without_row_is_400(self, server, job_id):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(
+                server + f"/v1/jobs/{job_id}/lineage?column=city", timeout=30
+            )
+        assert excinfo.value.code == 400
+
+    def test_unknown_job_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(server + "/v1/jobs/999999/lineage", timeout=30)
+        assert excinfo.value.code == 404
+
+    def test_post_is_405(self, server, job_id):
+        request = urllib.request.Request(
+            server + f"/v1/jobs/{job_id}/lineage", data=b"{}", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 405

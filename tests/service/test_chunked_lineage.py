@@ -1,0 +1,104 @@
+"""Lineage and tracing through the chunked cleaning path.
+
+The chunk recorders (disjoint global row-id ranges) plus the table-level
+pass merge into one job-wide recorder that must satisfy the same
+differential gate as the whole-table pipeline, and each chunk's span must
+hang off the ``pipeline.clean_chunked`` parent even though chunks run on
+pool threads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import load_dataset
+from repro import obs
+from repro.obs import get_tracer
+from repro.service import clean_chunked
+
+from tests.obs.test_lineage_differential import assert_gate
+
+
+def all_spans(tracer):
+    """Every span in the tracer, flattened (fragments nest their children)."""
+
+    def walk(span):
+        yield span
+        for child in span.children:
+            yield from walk(child)
+
+    return [
+        span
+        for trace_id in tracer.trace_ids()
+        for fragment in tracer.fragments(trace_id)
+        for span in walk(fragment)
+    ]
+
+
+@pytest.fixture(scope="module")
+def hospital():
+    return load_dataset("hospital", seed=0, scale=0.2)
+
+
+class TestChunkedLineageGate:
+    def test_merged_lineage_explains_exactly_the_diff(self, hospital):
+        chunked = clean_chunked(hospital.dirty, chunk_rows=100)
+        assert not chunked.fell_back
+        assert chunked.chunk_count >= 2
+        assert chunked.lineage is not None
+        assert_gate(chunked.lineage, hospital.dirty, chunked.cleaned_table)
+
+    def test_lineage_spans_every_chunk(self, hospital):
+        chunked = clean_chunked(hospital.dirty, chunk_rows=100)
+        rows = {r["row_id"] for r in chunked.lineage.records}
+        # Both chunks contributed records, addressed by original row position.
+        assert any(row_id < 100 for row_id in rows)
+        assert any(row_id >= 100 for row_id in rows)
+
+    def test_single_chunk_path_carries_lineage(self, hospital):
+        chunked = clean_chunked(hospital.dirty, chunk_rows=10_000)
+        assert chunked.chunk_count == 1
+        assert chunked.lineage is not None
+        assert_gate(chunked.lineage, hospital.dirty, chunked.cleaned_table)
+
+
+class TestChunkSpans:
+    def test_chunk_spans_parent_under_clean_chunked(self, hospital):
+        tracer = get_tracer()
+        obs.configure(enabled=True)
+        tracer.clear()
+        try:
+            clean_chunked(hospital.dirty, chunk_rows=100)
+            spans = all_spans(tracer)
+        finally:
+            tracer.clear()
+        parents = [s for s in spans if s.name == "pipeline.clean_chunked"]
+        chunks = [s for s in spans if s.name == "pipeline.chunk"]
+        assert len(parents) == 1
+        assert len(chunks) == 2
+        for chunk_span in chunks:
+            assert chunk_span.parent_id == parents[0].span_id
+            assert chunk_span.trace_id == parents[0].trace_id
+
+    def test_lineage_records_reference_chunk_spans(self, hospital):
+        tracer = get_tracer()
+        obs.configure(enabled=True)
+        tracer.clear()
+        try:
+            chunked = clean_chunked(hospital.dirty, chunk_rows=100)
+            spans = {span.span_id for span in all_spans(tracer)}
+        finally:
+            tracer.clear()
+        traced = [r for r in chunked.lineage.records if r["span_id"] is not None]
+        assert traced, "lineage records must carry trace refs when tracing is on"
+        # Each record's span ref points at a span that actually exists.
+        assert {r["span_id"] for r in traced} <= spans
+
+    def test_tracing_disabled_leaves_refs_null(self, hospital):
+        obs.configure(enabled=False)
+        try:
+            chunked = clean_chunked(hospital.dirty, chunk_rows=100)
+        finally:
+            obs.configure(enabled=True)
+        assert all(r["span_id"] is None for r in chunked.lineage.records)
+        assert all(r["trace_id"] is None for r in chunked.lineage.records)
