@@ -1,11 +1,17 @@
-"""SQL join benchmark: hash join + predicate pushdown vs the nested loop.
+"""SQL benchmark: join plans and the compiled columnar engine vs baselines.
 
-Times the same queries on two executors — the optimised default (index-backed
-hash join, single-side WHERE pushdown) and the pre-overhaul plan (nested-loop
-join, no pushdown, selected via the ``Executor.hash_join`` /
-``Executor.predicate_pushdown`` flags) — on synthetic tables of 1k–10k rows,
-checks the outputs are identical, and writes ``BENCH_sql.json`` in the schema
-described in ``docs/benchmarks.md``.
+Two families of cases, both written to ``BENCH_sql.json`` in the schema
+described in ``docs/benchmarks.md``:
+
+* **Join cases** — the optimised default (index-backed hash join, single-side
+  WHERE pushdown) against the pre-overhaul plan (nested-loop join, no
+  pushdown, selected via ``Executor.hash_join`` / ``Executor.predicate_pushdown``).
+  Joins always run on the row-dict engine, so these cases also guard the
+  columnar PR against join regressions.
+* **Compiled cases** — single-table scan+WHERE, GROUP BY aggregate and
+  window+QUALIFY queries at 10k/100k rows on the compiled columnar engine
+  (``Executor(compiled=True)``) against the row-dict interpreter
+  (``compiled=False``).  Outputs must be identical cell-for-cell.
 
 Run it from the repo root::
 
@@ -13,7 +19,8 @@ Run it from the repo root::
     PYTHONPATH=src python benchmarks/bench_sql.py --smoke     # seconds, CI
 
 The full run is slow *by design*: the nested-loop baseline on the 10k x 10k
-equi-join is the quadratic behaviour this PR removed.
+equi-join is the quadratic behaviour PR 2 removed, and the 100k-row
+interpreter runs are the per-row dispatch the columnar engine removes.
 """
 
 from __future__ import annotations
@@ -50,6 +57,13 @@ def run_query(tables, query: str, optimised: bool) -> Table:
         db.register(table)
     db.executor.hash_join = optimised
     db.executor.predicate_pushdown = optimised
+    return db.sql(query)
+
+
+def run_compiled_query(tables, query: str, compiled: bool) -> Table:
+    db = Database(compiled=compiled)
+    for table in tables:
+        db.register(table)
     return db.sql(query)
 
 
@@ -96,6 +110,50 @@ CASES = [
         5000,
         "SELECT l.k, r.val AS rval FROM lhs l JOIN rhs r ON l.k = r.k "
         "WHERE l.grp = 'a' AND r.grp = 'b'",
+        1,
+    ),
+]
+
+# (name, rows, query, interpreter_repeats_full) — single-table queries where
+# the baseline is the row-dict interpreter and the optimised side is the
+# compiled columnar engine.
+COMPILED_CASES = [
+    (
+        "scan_filter",
+        10000,
+        "SELECT k, val FROM t WHERE grp = 'a' AND val < 500",
+        3,
+    ),
+    (
+        "scan_filter",
+        100000,
+        "SELECT k, val FROM t WHERE grp = 'a' AND val < 500",
+        1,
+    ),
+    (
+        "group_aggregate",
+        10000,
+        "SELECT grp, COUNT(*) AS n, SUM(val) AS total, AVG(val) AS mean FROM t GROUP BY grp",
+        3,
+    ),
+    (
+        "group_aggregate",
+        100000,
+        "SELECT grp, COUNT(*) AS n, SUM(val) AS total, AVG(val) AS mean FROM t GROUP BY grp",
+        1,
+    ),
+    (
+        "window_qualify",
+        10000,
+        "SELECT k, grp, val FROM t "
+        "QUALIFY ROW_NUMBER() OVER (PARTITION BY grp ORDER BY val DESC) <= 3",
+        3,
+    ),
+    (
+        "window_qualify",
+        100000,
+        "SELECT k, grp, val FROM t "
+        "QUALIFY ROW_NUMBER() OVER (PARTITION BY grp ORDER BY val DESC) <= 3",
         1,
     ),
 ]
@@ -156,6 +214,35 @@ def main(argv=None) -> int:
             )
         )
 
+    for name, rows, query, interpreter_repeats in COMPILED_CASES:
+        if args.smoke:
+            rows = min(rows, SMOKE_ROWS)
+            interpreter_repeats = 1
+        rng = random.Random(args.seed)
+        tables = [make_table("t", rows, rng, key_space=rows)]
+
+        compiled_result = run_compiled_query(tables, query, compiled=True)
+        interpreted_result = run_compiled_query(tables, query, compiled=False)
+        parity = compiled_result.to_dict() == interpreted_result.to_dict()
+        ok = ok and parity
+
+        compiled_seconds = benchlib.measure(
+            lambda: run_compiled_query(tables, query, compiled=True), args.repeats
+        )
+        interpreted_seconds = benchlib.measure(
+            lambda: run_compiled_query(tables, query, compiled=False), interpreter_repeats
+        )
+        cases.append(
+            benchlib.case_result(
+                f"{name}_{rows}",
+                {"rows": rows, "query": query},
+                interpreted_seconds,
+                compiled_seconds,
+                output_rows=compiled_result.num_rows,
+                parity=parity,
+            )
+        )
+
     report = benchlib.write_report(
         args.out,
         "sql_join",
@@ -164,7 +251,7 @@ def main(argv=None) -> int:
     )
     benchlib.print_cases(report)
     if not ok:
-        print("ERROR: optimised and baseline plans disagreed", file=sys.stderr)
+        print("ERROR: optimised and baseline engines disagreed", file=sys.stderr)
         return 1
     return 0
 

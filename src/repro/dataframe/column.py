@@ -50,8 +50,22 @@ class Column:
         return Column(self.name, values, dtype if dtype is not None else self.dtype)
 
     def take(self, indices: Iterable[int]) -> "Column":
+        """Gather by index array: a new column holding ``values[i]`` per index."""
         vals = self.values
         return Column(self.name, [vals[i] for i in indices], self.dtype)
+
+    def append_values(self, values: Iterable[Any]) -> "Column":
+        """A new column with ``values`` appended, keeping the declared dtype.
+
+        One list concatenation — no per-cell dispatch and no type
+        re-inference, so appending typed micro-batches cannot silently widen
+        the column.
+        """
+        return Column(self.name, self.values + list(values), self.dtype)
+
+    def null_mask(self) -> List[bool]:
+        """Per-row NULL flags as a parallel boolean vector."""
+        return [is_null(v) for v in self.values]
 
     def map(self, func: Callable[[Any], Any], dtype: Optional[ColumnType] = None) -> "Column":
         return Column(self.name, [func(v) for v in self.values], dtype)

@@ -50,18 +50,20 @@ class Table:
         rows: Iterable[Sequence[Any]],
         dtypes: Optional[Sequence[Optional[ColumnType]]] = None,
     ) -> "Table":
-        """Build a table from row tuples."""
-        materialised = [list(r) for r in rows]
+        """Build a table from row tuples in one transposing pass."""
+        width = len(column_names)
+        materialised = rows if isinstance(rows, list) else list(rows)
         for row in materialised:
-            if len(row) != len(column_names):
+            if len(row) != width:
                 raise ValueError(
-                    f"Row width {len(row)} does not match column count {len(column_names)}"
+                    f"Row width {len(row)} does not match column count {width}"
                 )
+        # zip(*rows) transposes at C speed; no per-cell indexing pass.
+        transposed = [list(v) for v in zip(*materialised)] if materialised else [[] for _ in column_names]
         columns = []
         for i, col_name in enumerate(column_names):
-            values = [row[i] for row in materialised]
             dtype = dtypes[i] if dtypes is not None else None
-            columns.append(Column(col_name, values, dtype))
+            columns.append(Column(col_name, transposed[i], dtype))
         return cls(name, columns)
 
     @classmethod
@@ -125,7 +127,26 @@ class Table:
             yield self.row(i)
 
     def row_tuples(self) -> List[Tuple[Any, ...]]:
-        return [tuple(c[i] for c in self.columns) for i in range(self.num_rows)]
+        if not self.columns:
+            return []
+        return list(zip(*(c.values for c in self.columns)))
+
+    def itercolumns(self) -> Iterator[Column]:
+        """Iterate the column handles in table order.
+
+        The handles are the live :class:`Column` objects (not copies); hot
+        paths iterate ``column.values`` directly instead of materialising
+        ``row(i)`` dicts.
+        """
+        return iter(self.columns)
+
+    def column_values(self, name: str) -> List[Any]:
+        """The live value vector of one column — the columnar access path.
+
+        Callers must treat the list as read-only; columns are immutable by
+        convention.
+        """
+        return self.column(name).values
 
     # -- transformation (all return new tables) --------------------------------
     def copy(self, name: Optional[str] = None) -> "Table":

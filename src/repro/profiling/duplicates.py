@@ -13,20 +13,37 @@ def _row_key(row: Tuple[Any, ...]) -> Tuple[str, ...]:
     return tuple("\0null" if is_null(v) else str(v) for v in row)
 
 
+def _row_keys(table: Table) -> List[Tuple[str, ...]]:
+    """Every row's dedup key, built column-major.
+
+    Each column vector is normalised in one comprehension and ``zip``
+    transposes the normalised vectors into per-row key tuples — identical to
+    mapping :func:`_row_key` over ``row_tuples()`` without materialising the
+    rows first.
+    """
+    normalised = [
+        ["\0null" if is_null(v) else str(v) for v in column.values]
+        for column in table.itercolumns()
+    ]
+    if not normalised:
+        return []
+    return list(zip(*normalised))
+
+
 def duplicate_row_count(table: Table) -> int:
     """Number of rows that are exact duplicates of an earlier row."""
-    counts = Counter(_row_key(row) for row in table.row_tuples())
+    counts = Counter(_row_keys(table))
     return sum(count - 1 for count in counts.values() if count > 1)
 
 
 def duplicate_row_samples(table: Table, limit: int = 3) -> List[Dict[str, Any]]:
     """Up to ``limit`` sample rows that appear more than once."""
-    counts = Counter(_row_key(row) for row in table.row_tuples())
+    keys = _row_keys(table)
+    counts = Counter(keys)
     duplicated = {key for key, count in counts.items() if count > 1}
     samples: List[Dict[str, Any]] = []
     seen = set()
-    for i, row in enumerate(table.row_tuples()):
-        key = _row_key(row)
+    for i, key in enumerate(keys):
         if key in duplicated and key not in seen:
             samples.append(table.row(i))
             seen.add(key)

@@ -25,6 +25,29 @@ import math
 from typing import Any, Optional, Tuple
 
 
+def to_num(v: Any) -> Optional[float]:
+    """The operand as a float when it already is a number (bools count)."""
+    if isinstance(v, bool):
+        return float(v)
+    if isinstance(v, (int, float)):
+        return float(v)
+    return None
+
+
+def parse_num(v: Any) -> Optional[float]:
+    """A numeric-looking string as a finite float, else None.
+
+    Python's float() accepts 'nan'/'inf'/'Infinity', but SQL numeric
+    literals don't — treating those strings as numbers made
+    ``'nan' >= 5`` true (NaN probes all compare False, see compare_values).
+    """
+    try:
+        parsed = float(str(v).strip())
+    except (TypeError, ValueError):
+        return None
+    return parsed if math.isfinite(parsed) else None
+
+
 def numeric_pair(left: Any, right: Any) -> Optional[Tuple[float, float]]:
     """Return both operands as floats when a numeric comparison makes sense.
 
@@ -32,23 +55,6 @@ def numeric_pair(left: Any, right: Any) -> Optional[Tuple[float, float]]:
     string, the string is implicitly cast — matching the behaviour of the SQL
     engines the paper targets.
     """
-    def to_num(v: Any) -> Optional[float]:
-        if isinstance(v, bool):
-            return float(v)
-        if isinstance(v, (int, float)):
-            return float(v)
-        return None
-
-    def parse_num(v: Any) -> Optional[float]:
-        # Python's float() accepts 'nan'/'inf'/'Infinity', but SQL numeric
-        # literals don't — treating those strings as numbers made
-        # 'nan' >= 5 true (NaN probes all compare False, see compare_values).
-        try:
-            parsed = float(str(v).strip())
-        except (TypeError, ValueError):
-            return None
-        return parsed if math.isfinite(parsed) else None
-
     a, b = to_num(left), to_num(right)
     if a is not None and b is not None:
         return a, b

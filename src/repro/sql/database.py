@@ -48,10 +48,12 @@ class QueryLog:
 class Database:
     """An in-memory SQL database."""
 
-    def __init__(self, name: str = "memory") -> None:
+    def __init__(self, name: str = "memory", compiled: Optional[bool] = None) -> None:
+        """``compiled`` passes through to :class:`Executor` (None reads the
+        ``REPRO_SQL_COMPILED`` environment variable)."""
         self.name = name
         self.catalog = Catalog()
-        self.executor = Executor(self.catalog)
+        self.executor = Executor(self.catalog, compiled=compiled)
         self.query_log = QueryLog()
 
     # -- table management -----------------------------------------------------

@@ -25,14 +25,34 @@ conjuncts below ``INNER`` joins only, since filtering the right input of a
 ``LEFT`` join would change its null-padding).  Both behaviours can be
 disabled per :class:`Executor` via ``hash_join`` / ``predicate_pushdown`` —
 the benchmarks use this to measure the nested-loop baseline.
+
+Execution engines
+-----------------
+Every SELECT is first **planned** (:func:`repro.sql.planner.plan_select`)
+into an explicit stage pipeline, then dispatched to one of two engines:
+
+* the **columnar engine** runs single-table queries over column vectors:
+  every predicate/expression is compiled *once per query* into a closure by
+  :mod:`repro.sql.compiler`, filters gather vectors by index, projection
+  reuses source vectors where it can, and per-row dict materialisation
+  disappears from the hot path entirely;
+* the **row-dict engine** is the original interpreter (rows as dicts with
+  ``alias.column`` qualified keys) and still runs every join query, SELECTs
+  without FROM, and everything when ``compiled=False``.
+
+Both engines produce cell-identical tables and emit the same observability
+spans; the differential suites run every query through both.
 """
 
 from __future__ import annotations
 
 import math
+import os
 import re
+from functools import lru_cache
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.dataframe.column import Column
 from repro.dataframe.schema import coerce_value, is_null
 from repro.dataframe.table import Table
 from repro.sql.ast_nodes import (
@@ -62,8 +82,10 @@ from repro.sql.ast_nodes import (
 from repro.obs import span as obs_span
 from repro.sql.catalog import Catalog
 from repro.sql.comparison import compare_values, numeric_pair, sql_equal
+from repro.sql.compiler import ColumnarBinding
 from repro.sql.errors import ExecutionError
 from repro.sql.functions import AGGREGATE_NAMES, call_scalar, make_aggregate
+from repro.sql.planner import SelectPlan, plan_select
 
 # Comparison semantics live in repro.sql.comparison so the aggregates in
 # repro.sql.functions can share them without importing this module; the old
@@ -88,15 +110,34 @@ class Executor:
     predicate_pushdown:
         When True (default), single-side ``WHERE`` conjuncts are evaluated
         below the join instead of on the joined rows.
+    compiled:
+        When True (default), eligible single-table SELECTs run on the
+        columnar engine with once-per-query expression compilation; when
+        False every query runs on the row-dict interpreter.  ``None`` reads
+        the ``REPRO_SQL_COMPILED`` environment variable (any value other
+        than ``"0"`` enables), so differential CI jobs can force the
+        interpreter without touching call sites.
 
-    Both flags are plain attributes and may be toggled between queries; the
+    All flags are plain attributes and may be toggled between queries; the
     benchmark harness relies on this to time the pre-optimisation plan.
+    ``last_execution_mode`` records which engine ran the outermost SELECT of
+    the most recent query (``"columnar"`` or ``"rowdict"``), for tests.
     """
 
-    def __init__(self, catalog: Catalog, hash_join: bool = True, predicate_pushdown: bool = True):
+    def __init__(
+        self,
+        catalog: Catalog,
+        hash_join: bool = True,
+        predicate_pushdown: bool = True,
+        compiled: Optional[bool] = None,
+    ):
         self.catalog = catalog
         self.hash_join = hash_join
         self.predicate_pushdown = predicate_pushdown
+        if compiled is None:
+            compiled = os.environ.get("REPRO_SQL_COMPILED", "1") != "0"
+        self.compiled = compiled
+        self.last_execution_mode: Optional[str] = None
 
     # -- public API -----------------------------------------------------------
     def execute(self, statement: Statement) -> Optional[Table]:
@@ -113,26 +154,34 @@ class Executor:
 
     # -- SELECT pipeline --------------------------------------------------------
     def _execute_select(self, select: Select, result_name: str) -> Table:
+        plan = plan_select(select)
+        use_columnar = self.compiled and plan.columnar_eligible
+        if use_columnar:
+            table = self._execute_columnar(plan, result_name)
+        else:
+            table = self._execute_rowdict(plan, result_name)
+        # Set after subqueries so the outermost SELECT's engine wins.
+        self.last_execution_mode = "columnar" if use_columnar else "rowdict"
+        return table
+
+    # -- row-dict engine --------------------------------------------------------
+    def _execute_rowdict(self, plan: SelectPlan, result_name: str) -> Table:
+        select = plan.select
         rows, source_columns, where = self._resolve_from(select)
         if where is not None:
             with obs_span("sql.filter", rows_in=len(rows)) as sp:
                 rows = [r for r in rows if _truthy(self._eval(where, r))]
                 sp.annotate(rows_out=len(rows))
 
-        has_group = bool(select.group_by)
-        has_aggregate = any(_contains_aggregate(item.expression) for item in select.items) or (
-            select.having is not None and _contains_aggregate(select.having)
-        )
-
         source_rows: Optional[List[Row]] = None
-        if has_group or has_aggregate:
+        if plan.group is not None:
             with obs_span(
                 "sql.aggregate", rows_in=len(rows), group_keys=len(select.group_by)
             ) as sp:
                 out_names, out_rows = self._execute_grouped(select, rows)
                 sp.annotate(rows_out=len(out_rows))
         else:
-            window_values = self._compute_windows(select, rows)
+            window_values = self._compute_windows(plan.windows, rows)
             with obs_span("sql.project", rows_in=len(rows)) as sp:
                 out_names, out_rows = self._project(select, rows, window_values, source_columns)
                 sp.annotate(columns=len(out_names))
@@ -172,6 +221,254 @@ class Executor:
             out_rows = out_rows[: select.limit]
 
         return Table.from_rows(result_name, out_names, out_rows)
+
+    # -- columnar engine --------------------------------------------------------
+    def _execute_columnar(self, plan: SelectPlan, result_name: str) -> Table:
+        """Run a planned single-table SELECT over column vectors.
+
+        Expressions are compiled once per query (see
+        :class:`repro.sql.compiler.ColumnarBinding`); rows are represented
+        as an index into parallel vectors until the very end.  Every stage
+        emits the same observability span the row-dict engine does, and the
+        output is cell-identical by construction — the differential suites
+        hold both engines to that.
+        """
+        select = plan.select
+        ref = plan.scan.ref
+        with obs_span("sql.scan", source=ref.name or (ref.alias or "subquery")) as sp:
+            if ref.subquery is not None:
+                table = self._execute_select(ref.subquery, result_name=ref.alias or "subquery")
+            else:
+                table = self.catalog.get(ref.name)
+            names = list(table.column_names)
+            vectors: List[List[Any]] = [c.values for c in table.columns]
+            # A zero-column table has no rows to scan, matching the row-dict
+            # engine (which materialises no dicts without column names).
+            n = len(vectors[0]) if vectors else 0
+            sp.annotate(rows_out=n)
+
+        if plan.filter is not None:
+            predicate = ColumnarBinding(self, names, vectors).compile(plan.filter.predicate)
+            with obs_span("sql.filter", rows_in=n) as sp:
+                keep = [i for i in range(n) if _truthy(predicate(i))]
+                if len(keep) != n:
+                    vectors = [[vec[i] for i in keep] for vec in vectors]
+                n = len(keep)
+                sp.annotate(rows_out=n)
+
+        binding = ColumnarBinding(self, names, vectors)
+
+        if plan.group is not None:
+            with obs_span("sql.aggregate", rows_in=n, group_keys=len(select.group_by)) as sp:
+                out_names, out_rows = self._columnar_grouped(select, binding, n)
+                sp.annotate(rows_out=len(out_rows))
+            return self._finish_rows(select, result_name, out_names, out_rows, binding, positions=None)
+
+        window_values: Dict[int, List[Any]] = {}
+        if plan.windows:
+            with obs_span("sql.window", functions=len(plan.windows), rows_in=n):
+                for node in plan.windows:
+                    window_values[id(node)] = self._columnar_window(node, binding, n)
+
+        with obs_span("sql.project", rows_in=n) as sp:
+            out_names = self._output_names(select, names)
+            out_vectors: List[List[Any]] = []
+            for item in select.items:
+                if isinstance(item.expression, Star):
+                    out_vectors.extend(vectors)
+                    continue
+                if isinstance(item.expression, ColumnRef):
+                    vec = binding.vector_for(item.expression)
+                    if vec is not None:
+                        out_vectors.append(vec)
+                        continue
+                fn = binding.compile(item.expression, windows=window_values)
+                out_vectors.append([fn(i) for i in range(n)])
+            sp.annotate(columns=len(out_names))
+
+        # `positions` maps output rows back to source rows for ORDER BY
+        # expressions that reference unprojected columns.
+        positions: Optional[List[int]] = list(range(n))
+        if select.qualify is not None:
+            qualify_fn = binding.compile(select.qualify, windows=window_values)
+            with obs_span("sql.qualify", rows_in=n) as sp:
+                keep = [i for i in range(n) if _truthy(qualify_fn(i))]
+                if len(keep) != n:
+                    out_vectors = [[vec[i] for i in keep] for vec in out_vectors]
+                positions = keep
+                sp.annotate(rows_out=len(keep))
+
+        if select.distinct or select.order_by:
+            out_rows = [list(cells) for cells in zip(*out_vectors)]
+            return self._finish_rows(select, result_name, out_names, out_rows, binding, positions)
+
+        # Pure vector tail: slice and build columns directly (no transpose).
+        if select.offset is not None:
+            out_vectors = [vec[select.offset:] for vec in out_vectors]
+        if select.limit is not None:
+            out_vectors = [vec[: select.limit] for vec in out_vectors]
+        return Table(result_name, [Column(name, vec) for name, vec in zip(out_names, out_vectors)])
+
+    def _finish_rows(
+        self,
+        select: Select,
+        result_name: str,
+        out_names: List[str],
+        out_rows: List[List[Any]],
+        binding: ColumnarBinding,
+        positions: Optional[List[int]],
+    ) -> Table:
+        """Row-major tail of the columnar engine: DISTINCT, ORDER BY, LIMIT."""
+        if select.distinct:
+            with obs_span("sql.distinct", rows_in=len(out_rows)) as sp:
+                positions = None
+                seen = set()
+                deduped = []
+                for row in out_rows:
+                    key = tuple("\0null" if is_null(v) else str(v) for v in row)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    deduped.append(row)
+                out_rows = deduped
+                sp.annotate(rows_out=len(out_rows))
+
+        if select.order_by:
+            with obs_span("sql.sort", rows_in=len(out_rows), keys=len(select.order_by)):
+                out_rows = self._columnar_order(select, out_names, out_rows, binding, positions)
+
+        if select.offset is not None:
+            out_rows = out_rows[select.offset:]
+        if select.limit is not None:
+            out_rows = out_rows[: select.limit]
+        return Table.from_rows(result_name, out_names, out_rows)
+
+    def _columnar_order(
+        self,
+        select: Select,
+        names: List[str],
+        out_rows: List[List[Any]],
+        binding: ColumnarBinding,
+        positions: Optional[List[int]],
+    ) -> List[List[Any]]:
+        """ORDER BY over columnar output, mirroring :meth:`_order_output`.
+
+        Each key resolves once per query: projected columns and ordinal
+        positions read the output row; other expressions compile against
+        the source vectors (without window context, like the interpreter)
+        when source positions survive, else evaluate on a dict of the
+        output row (post-DISTINCT).
+        """
+        name_index = {name: i for i, name in enumerate(names)}
+        resolvers: List[Tuple[str, Any]] = []
+        for item in select.order_by:
+            expr = item.expression
+            if isinstance(expr, ColumnRef) and expr.name in name_index:
+                resolvers.append(("out", name_index[expr.name]))
+            elif isinstance(expr, Literal) and isinstance(expr.value, int):
+                resolvers.append(("out", expr.value - 1))
+            elif positions is not None:
+                resolvers.append(("src", binding.compile(expr)))
+            else:
+                resolvers.append(("dict", expr))
+
+        def key(position: int) -> Tuple:
+            row = out_rows[position]
+            parts = []
+            for (kind, target), item in zip(resolvers, select.order_by):
+                if kind == "out":
+                    value = row[target]
+                elif kind == "src":
+                    value = target(positions[position])
+                else:
+                    value = self._eval(target, dict(zip(names, row)))
+                parts.append(_sort_key(value, item.descending))
+            return tuple(parts)
+
+        order = sorted(range(len(out_rows)), key=key)
+        return [out_rows[i] for i in order]
+
+    def _columnar_grouped(
+        self, select: Select, binding: ColumnarBinding, n: int
+    ) -> Tuple[List[str], List[List[Any]]]:
+        """GROUP BY over vectors: groups hold row indices, aggregates fold them."""
+        groups: Dict[Tuple, List[int]] = {}
+        order: List[Tuple] = []
+        if select.group_by:
+            key_fns = [binding.compile(e) for e in select.group_by]
+            for i in range(n):
+                key = tuple(_hashable(fn(i)) for fn in key_fns)
+                if key not in groups:
+                    groups[key] = []
+                    order.append(key)
+                groups[key].append(i)
+        else:
+            groups[()] = list(range(n))
+            order.append(())
+
+        names = self._output_names(select, source_columns=[])
+        item_fns = [binding.compile_aggregate(item.expression) for item in select.items]
+        having_fn = binding.compile_aggregate(select.having) if select.having is not None else None
+        out_rows: List[List[Any]] = []
+        for key in order:
+            indices = groups[key]
+            if having_fn is not None and not _truthy(having_fn(indices)):
+                continue
+            out_rows.append([fn(indices) for fn in item_fns])
+        return names, out_rows
+
+    def _columnar_window(self, node: WindowFunction, binding: ColumnarBinding, n: int) -> List[Any]:
+        """One window function over vectors, mirroring :meth:`_evaluate_window`."""
+        partition_fns = [binding.compile(e) for e in node.window.partition_by]
+        order_fns = [binding.compile(item.expression) for item in node.window.order_by]
+        partitions: Dict[Tuple, List[int]] = {}
+        for i in range(n):
+            key = tuple(_hashable(fn(i)) for fn in partition_fns)
+            partitions.setdefault(key, []).append(i)
+        result: List[Any] = [None] * n
+        name = node.name.upper()
+        arg_fn = None
+        if name in ("COUNT", "SUM", "MIN", "MAX", "AVG"):
+            if node.args and not isinstance(node.args[0], Star):
+                arg_fn = binding.compile(node.args[0])
+        for indices in partitions.values():
+            ordered = indices
+            if node.window.order_by:
+                ordered = sorted(
+                    indices,
+                    key=lambda i: tuple(
+                        _sort_key(fn(i), item.descending)
+                        for fn, item in zip(order_fns, node.window.order_by)
+                    ),
+                )
+            if name == "ROW_NUMBER":
+                for rank, i in enumerate(ordered, start=1):
+                    result[i] = rank
+            elif name in ("RANK", "DENSE_RANK"):
+                prev_key: Any = object()
+                rank = 0
+                dense = 0
+                for position, i in enumerate(ordered, start=1):
+                    # Tie detection uses raw expression values, not sort keys.
+                    key = tuple(fn(i) for fn in order_fns)
+                    if key != prev_key:
+                        dense += 1
+                        rank = position
+                        prev_key = key
+                    result[i] = rank if name == "RANK" else dense
+            elif name in ("COUNT", "SUM", "MIN", "MAX", "AVG"):
+                agg = make_aggregate(
+                    name,
+                    count_star=(len(node.args) == 1 and isinstance(node.args[0], Star)) or not node.args,
+                )
+                for i in ordered:
+                    agg.add_checked(arg_fn(i) if arg_fn is not None else 1)
+                total = agg.result()
+                for i in ordered:
+                    result[i] = total
+            else:
+                raise ExecutionError(f"Unsupported window function: {node.name}")
+        return result
 
     # -- FROM / JOIN ------------------------------------------------------------
     def _resolve_from(self, select: Select) -> Tuple[List[Row], List[str], Optional[Expression]]:
@@ -491,12 +788,9 @@ class Executor:
         return self._eval(expr, row)
 
     # -- window functions ---------------------------------------------------------------
-    def _compute_windows(self, select: Select, rows: List[Row]) -> Dict[int, List[Any]]:
-        window_nodes: List[WindowFunction] = []
-        for item in select.items:
-            _collect_windows(item.expression, window_nodes)
-        if select.qualify is not None:
-            _collect_windows(select.qualify, window_nodes)
+    def _compute_windows(
+        self, window_nodes: List[WindowFunction], rows: List[Row]
+    ) -> Dict[int, List[Any]]:
         if not window_nodes:
             return {}
         values: Dict[int, List[Any]] = {}
@@ -969,15 +1263,28 @@ def _like_to_regex(pattern: str, escape: Optional[str] = None) -> str:
     return "^" + "".join(out) + "$"
 
 
+@lru_cache(maxsize=512)
+def _like_regex(pattern: str, escape: Optional[str]) -> "re.Pattern":
+    """Compiled, case-insensitive regex for a LIKE pattern.
+
+    Cached per ``(pattern, escape)`` so repeated evaluation — one call per
+    row in the interpreter, and the compiled engine's closures — translates
+    and compiles each distinct pattern once.  ``lru_cache`` does not cache
+    raised exceptions, so malformed patterns (dangling ESCAPE) keep raising
+    on every evaluation, exactly like the uncached code did.
+    """
+    return re.compile(_like_to_regex(pattern, escape), re.IGNORECASE)
+
+
 def _like_match(value: Any, pattern: Any, escape: Any = None) -> bool:
-    """Non-null LIKE evaluation shared by the Like node and BinaryOp('LIKE')."""
+    """Non-null LIKE evaluation shared by the Like node, BinaryOp('LIKE') and
+    the compiled engine's Like closures."""
     escape_char: Optional[str] = None
     if escape is not None:
         escape_char = str(escape)
         if len(escape_char) != 1:
             raise ExecutionError(f"ESCAPE must be a single character, got {escape_char!r}")
-    regex = _like_to_regex(str(pattern), escape_char)
-    return re.match(regex, str(value), flags=re.IGNORECASE) is not None
+    return _like_regex(str(pattern), escape_char).match(str(value)) is not None
 
 
 def _apply_unary(op: str, value: Any) -> Any:
@@ -1030,70 +1337,6 @@ def _apply_binary(op: str, left: Any, right: Any) -> Any:
             return None
         return left % right
     raise ExecutionError(f"Unknown binary operator {op}")
-
-
-def _contains_aggregate(expr: Expression) -> bool:
-    if isinstance(expr, FunctionCall):
-        if expr.name in AGGREGATE_NAMES:
-            return True
-        return any(_contains_aggregate(a) for a in expr.args)
-    if isinstance(expr, BinaryOp):
-        return _contains_aggregate(expr.left) or _contains_aggregate(expr.right)
-    if isinstance(expr, UnaryOp):
-        return _contains_aggregate(expr.operand)
-    if isinstance(expr, Cast):
-        return _contains_aggregate(expr.operand)
-    if isinstance(expr, CaseWhen):
-        parts: List[Expression] = []
-        for cond, res in expr.whens:
-            parts.extend([cond, res])
-        if expr.default is not None:
-            parts.append(expr.default)
-        if expr.operand is not None:
-            parts.append(expr.operand)
-        return any(_contains_aggregate(p) for p in parts)
-    if isinstance(expr, (IsNull, Between)):
-        return _contains_aggregate(expr.operand)
-    if isinstance(expr, Like):
-        return _contains_aggregate(expr.operand) or _contains_aggregate(expr.pattern)
-    if isinstance(expr, InList):
-        return _contains_aggregate(expr.operand) or any(_contains_aggregate(i) for i in expr.items)
-    return False
-
-
-def _collect_windows(expr: Expression, out: List[WindowFunction]) -> None:
-    if isinstance(expr, WindowFunction):
-        out.append(expr)
-        return
-    if isinstance(expr, FunctionCall):
-        for a in expr.args:
-            _collect_windows(a, out)
-    elif isinstance(expr, BinaryOp):
-        _collect_windows(expr.left, out)
-        _collect_windows(expr.right, out)
-    elif isinstance(expr, UnaryOp):
-        _collect_windows(expr.operand, out)
-    elif isinstance(expr, Cast):
-        _collect_windows(expr.operand, out)
-    elif isinstance(expr, CaseWhen):
-        for cond, res in expr.whens:
-            _collect_windows(cond, out)
-            _collect_windows(res, out)
-        if expr.default is not None:
-            _collect_windows(expr.default, out)
-        if expr.operand is not None:
-            _collect_windows(expr.operand, out)
-    elif isinstance(expr, (IsNull, Between)):
-        _collect_windows(expr.operand, out)
-    elif isinstance(expr, Like):
-        _collect_windows(expr.operand, out)
-        _collect_windows(expr.pattern, out)
-        if expr.escape is not None:
-            _collect_windows(expr.escape, out)
-    elif isinstance(expr, InList):
-        _collect_windows(expr.operand, out)
-        for i in expr.items:
-            _collect_windows(i, out)
 
 
 def _expression_label(expr: Expression, index: int) -> str:

@@ -462,10 +462,11 @@ class StreamingCleaner:
         ]
         ids = replayed.column(ROW_ID_COLUMN).values
         data_columns = [replayed.column(name).values for name in self.plan.column_names]
-        return [
-            (int(row_id), tuple(values[i] for values in data_columns))
-            for i, row_id in enumerate(ids)
-        ]
+        # zip(*) transposes the column vectors in one pass instead of
+        # indexing every cell individually.
+        if not data_columns:
+            return [(int(row_id), ()) for row_id in ids]
+        return [(int(row_id), row) for row_id, row in zip(ids, zip(*data_columns))]
 
     def _record_removals(
         self,

@@ -106,13 +106,17 @@ class TableLevelState:
     def _apply_keep_first(self, rows: Sequence[Tuple[int, Row]]) -> TableLevelDelta:
         delta = TableLevelDelta()
         key_indexes = [self._order_spec(step)[0] for step in self.steps]
-        for row_id, row in rows:
+        # Column-major key building: each column referenced by any step is
+        # normalised once per batch, and per-step keys come out of zip —
+        # no per-row-per-step tuple comprehension.
+        step_keys = _batch_step_keys([row for _, row in rows], key_indexes)
+        for position, (row_id, row) in enumerate(rows):
             won = True
             # A row claims each step's key the moment it wins *that* step:
             # a row kept by step 1 but dropped by step 2 still shadows later
             # rows at step 1, exactly as the chained QUALIFY statements do.
-            for step_index, (key_idx, seen) in enumerate(zip(key_indexes, self._seen)):
-                key = tuple(_hashable(row[i]) for i in key_idx)
+            for step_index, (keys, seen) in enumerate(zip(step_keys, self._seen)):
+                key = keys[position]
                 if key in seen:
                     won = False
                     delta.removed_by_step[row_id] = step_index
@@ -173,6 +177,28 @@ class TableLevelState:
         self._survivors = {}
 
 
+def _batch_step_keys(
+    rows: Sequence[Row], key_indexes: Sequence[List[int]]
+) -> List[List[Tuple]]:
+    """Per-step partition keys for a batch, built column-major.
+
+    Each column index referenced by any step is normalised through
+    ``_hashable`` exactly once for the whole batch; per-step key tuples are
+    then assembled with ``zip`` over the shared normalised vectors.  Key
+    tuples are identical to the row-major ``tuple(_hashable(row[i]) ...)``
+    form, so they interoperate with keys stored across batches.
+    """
+    needed = {i for key_idx in key_indexes for i in key_idx}
+    normalised = {i: [_hashable(row[i]) for row in rows] for i in needed}
+    step_keys: List[List[Tuple]] = []
+    for key_idx in key_indexes:
+        if key_idx:
+            step_keys.append(list(zip(*(normalised[i] for i in key_idx))))
+        else:
+            step_keys.append([()] * len(rows))
+    return step_keys
+
+
 def table_level_survivors(
     steps: Sequence[PlanStep],
     rows: Sequence[Tuple[int, Row]],
@@ -201,27 +227,29 @@ def table_level_survivors(
             order = (column_index[order_column], True) if order_column is not None else None
         else:
             raise ValueError(f"Unknown table-level step kind {step.kind!r}")
-        winners: Dict[Tuple, Tuple[int, Tuple[int, Row]]] = {}
-        for position, (row_id, row) in enumerate(current):
-            key = tuple(_hashable(row[i]) for i in key_idx)
-            if order is None:
+        # Vectorised key/sort-key building: one pass per referenced column,
+        # not one tuple comprehension per row.
+        keys = _batch_step_keys([row for _, row in current], [key_idx])[0]
+        sort_keys: Optional[List[Tuple]] = None
+        if order is not None:
+            order_idx, descending = order
+            sort_keys = [_sort_key(row[order_idx], descending) for _, row in current]
+        winners: Dict[Tuple, int] = {}
+        for position, key in enumerate(keys):
+            if sort_keys is None:
                 # ORDER BY row id: first arrival wins.
                 if key not in winners:
-                    winners[key] = (position, (row_id, row))
+                    winners[key] = position
                 continue
-            order_idx, descending = order
-            sort_key = _sort_key(row[order_idx], descending)
             incumbent = winners.get(key)
             if incumbent is None:
-                winners[key] = (position, (row_id, row))
+                winners[key] = position
                 continue
-            incumbent_position, (inc_id, inc_row) = incumbent
-            incumbent_key = _sort_key(inc_row[order_idx], descending)
             # Strict improvement required: stable sort keeps the earlier row
             # on ties, and rows arrive in row-id order.
-            if sort_key < incumbent_key:
-                winners[key] = (position, (row_id, row))
-        keep_positions = {position for position, _ in winners.values()}
+            if sort_keys[position] < sort_keys[incumbent]:
+                winners[key] = position
+        keep_positions = set(winners.values())
         if removed_by_step is not None:
             for position, (row_id, _row) in enumerate(current):
                 if position not in keep_positions:

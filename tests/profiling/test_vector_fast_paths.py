@@ -1,0 +1,106 @@
+"""The profiler's single-pass/column-major fast paths against naive references."""
+
+from collections import Counter
+
+from repro.dataframe.column import Column
+from repro.dataframe.schema import is_null
+from repro.dataframe.table import Table
+from repro.profiling.column_profile import profile_column
+from repro.profiling.duplicates import (
+    _row_key,
+    duplicate_row_count,
+    duplicate_row_samples,
+)
+
+
+def reference_profile_stats(column):
+    """The pre-vectorisation multi-pass statistics, computed independently."""
+    values = column.values
+    null_count = sum(1 for v in values if is_null(v))
+    non_null = [v for v in values if not is_null(v)]
+    counts = Counter(str(v) for v in non_null)
+    return {
+        "null_count": null_count,
+        "distinct_count": len(counts) + (1 if null_count else 0),
+        "unique_ratio": (len(counts) / len(non_null)) if non_null else 0.0,
+        "top_values": counts.most_common(1000),
+    }
+
+
+class TestSinglePassProfileParity:
+    def check(self, values):
+        column = Column("c", values)
+        profile = profile_column(column)
+        reference = reference_profile_stats(column)
+        assert profile.null_count == reference["null_count"]
+        assert profile.distinct_count == reference["distinct_count"]
+        assert profile.unique_ratio == reference["unique_ratio"]
+        assert profile.top_values == reference["top_values"]
+
+    def test_mixed_nulls_and_repeats(self):
+        self.check([1, 1, 2, None, float("nan"), "x", "x", "x", None])
+
+    def test_all_null(self):
+        self.check([None, None, float("nan")])
+
+    def test_empty(self):
+        self.check([])
+
+    def test_all_distinct(self):
+        self.check(list(range(50)))
+
+    def test_str_collisions_count_once(self):
+        # 1 and "1" stringify identically — the distinct count is over the
+        # string image, exactly as the multi-pass profiler computed it.
+        self.check([1, "1", 1.5, "1.5"])
+
+
+def reference_duplicate_stats(table):
+    counts = Counter(_row_key(row) for row in table.row_tuples())
+    dup_count = sum(c - 1 for c in counts.values() if c > 1)
+    duplicated = {k for k, c in counts.items() if c > 1}
+    samples = []
+    seen = set()
+    for i, row in enumerate(table.row_tuples()):
+        key = _row_key(row)
+        if key in duplicated and key not in seen:
+            samples.append(table.row(i))
+            seen.add(key)
+    return dup_count, samples
+
+
+class TestColumnMajorDuplicateParity:
+    def check(self, table, limit=3):
+        dup_count, samples = reference_duplicate_stats(table)
+        assert duplicate_row_count(table) == dup_count
+        assert duplicate_row_samples(table, limit=limit) == samples[:limit]
+
+    def test_duplicates_with_nulls(self):
+        self.check(
+            Table.from_dict(
+                "t",
+                {
+                    "a": [1, 1, 2, None, None, 1],
+                    "b": ["x", "x", "y", None, None, "x"],
+                },
+            )
+        )
+
+    def test_no_duplicates(self):
+        self.check(Table.from_dict("t", {"a": [1, 2, 3]}))
+
+    def test_empty_table(self):
+        self.check(Table.from_dict("t", {"a": []}))
+
+    def test_zero_column_table(self):
+        self.check(Table("t", []))
+
+    def test_sample_limit_respected(self):
+        table = Table.from_dict("t", {"a": [1, 1, 2, 2, 3, 3]})
+        assert len(duplicate_row_samples(table, limit=2)) == 2
+        self.check(table, limit=2)
+
+    def test_nan_rows_group_as_null(self):
+        self.check(
+            Table.from_dict("t", {"a": [float("nan"), None, float("nan")]})
+        )
